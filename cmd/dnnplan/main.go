@@ -1,0 +1,124 @@
+// Command dnnplan runs the integrated-parallelism planner: given a
+// network, a global batch size, a process count, and a machine, it prints
+// every Pr × Pc configuration with predicted communication/computation
+// time and the chosen per-layer strategy — the paper's "automatically
+// selects the best configuration" claim as a tool.
+//
+// Usage:
+//
+//	dnnplan -net alexnet -B 2048 -P 512
+//	dnnplan -net alexnet -B 512 -P 4096 -mode conv-domain
+//	dnnplan -net vgg16 -B 256 -P 64 -mode auto -overlap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dnnparallel/internal/experiments"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/report"
+)
+
+func main() {
+	netName := flag.String("net", "alexnet", "network: alexnet|vgg16|onebyone|resnet50")
+	batch := flag.Int("B", 2048, "global minibatch size")
+	procs := flag.Int("P", 512, "process count")
+	modeName := flag.String("mode", "auto", "conv-layer handling: uniform|conv-batch|conv-domain|auto")
+	overlap := flag.Bool("overlap", false, "assume perfect comm/backprop overlap (Fig. 8)")
+	alpha := flag.Float64("alpha", 2e-6, "network latency α (seconds)")
+	bwGB := flag.Float64("bw", 6, "network bandwidth 1/β (GB/s)")
+	flag.Parse()
+
+	var net *nn.Network
+	switch *netName {
+	case "alexnet":
+		net = nn.AlexNet()
+	case "vgg16":
+		net = nn.VGG16()
+	case "onebyone":
+		net = nn.OneByOneNet()
+	case "resnet50":
+		net = nn.ResNet50Proxy()
+	default:
+		fmt.Fprintf(os.Stderr, "dnnplan: unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+	var mode planner.Mode
+	switch *modeName {
+	case "uniform":
+		mode = planner.Uniform
+	case "conv-batch":
+		mode = planner.ConvBatch
+	case "conv-domain":
+		mode = planner.ConvDomain
+	case "auto":
+		mode = planner.Auto
+	default:
+		fmt.Fprintf(os.Stderr, "dnnplan: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	s := experiments.Default()
+	opts := planner.Options{
+		Machine:  s.Machine,
+		Compute:  s.Compute,
+		Mode:     mode,
+		Overlap:  *overlap,
+		DatasetN: s.DatasetN,
+	}
+	opts.Machine.Alpha = *alpha
+	opts.Machine.Beta = 4 / (*bwGB * 1e9)
+
+	res, err := planner.Optimize(net, *batch, *procs, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnplan:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, B=%d, P=%d, mode=%v, machine=%s\n\n", net.Name, *batch, *procs, mode, opts.Machine)
+	var rows [][]string
+	for _, p := range res.All {
+		if !p.Feasible {
+			rows = append(rows, []string{p.Grid.String(), "-", "-", "-", "-", "infeasible: " + p.Reason})
+			continue
+		}
+		note := ""
+		if p.Grid == res.Best.Grid {
+			note = "← best"
+		}
+		rows = append(rows, []string{
+			p.Grid.String(),
+			report.F(p.CommSeconds), report.F(p.CompSeconds),
+			report.F(p.IterSeconds), report.F(p.EpochSeconds),
+			note,
+		})
+	}
+	fmt.Print(report.Table([]string{"Grid", "comm s/iter", "comp s/iter", "total s/iter", "s/epoch", ""}, rows))
+
+	if total, comm := res.Speedup(); total > 0 {
+		fmt.Printf("\nSpeedup vs pure batch (1x%d): %.2fx total, %.2fx communication\n", *procs, total, comm)
+	} else {
+		fmt.Printf("\nPure batch (1x%d) is infeasible at B=%d — the beyond-batch regime of Fig. 10.\n", *procs, *batch)
+	}
+
+	fmt.Printf("\nPer-layer strategy of the best plan (grid %v):\n", res.Best.Grid)
+	var lis []int
+	for li := range res.Best.Assignment {
+		lis = append(lis, li)
+	}
+	sort.Ints(lis)
+	var srows [][]string
+	for _, li := range lis {
+		l := &net.Layers[li]
+		srows = append(srows, []string{
+			l.Name, l.Kind.String(), l.Out.String(),
+			fmt.Sprintf("%d", l.Weights()),
+			res.Best.Assignment[li].String(),
+		})
+	}
+	fmt.Print(report.Table([]string{"Layer", "Kind", "Output", "|W|", "Strategy"}, srows))
+}

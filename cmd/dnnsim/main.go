@@ -1,0 +1,163 @@
+// Command dnnsim regenerates the paper's tables and figures from the
+// analytic models (Figs. 4, 6–10, Table 1, the Eq. 5 crossover table) and
+// the executable engine verification.
+//
+// Usage:
+//
+//	dnnsim -exp all            # every experiment, text form
+//	dnnsim -exp fig6           # one experiment
+//	dnnsim -exp fig7 -csv      # machine-readable output
+//	dnnsim -exp fig6 -B 1024   # override the batch size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dnnparallel/internal/compute"
+	"dnnparallel/internal/experiments"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/planner"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig4|eq5|fig6|fig7|fig8|fig9|fig10|verify|sensitivity|memory|onebyone|all")
+	csv := flag.Bool("csv", false, "emit CSV instead of text (scaling experiments)")
+	batch := flag.Int("B", 2048, "global minibatch size for strong-scaling experiments")
+	beyondB := flag.Int("B10", 512, "batch size for the beyond-batch experiment (fig10)")
+	ps := flag.String("P", "", "comma-separated process counts (defaults per experiment)")
+	calibrate := flag.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
+	flag.Parse()
+
+	s := experiments.Default()
+	if *calibrate {
+		s.Compute = compute.CalibrateLocal(192, time.Second)
+		fmt.Printf("calibrated local compute model: peak·eff ≈ %.3g FLOP/s, half-speed batch ≈ %.1f\n\n",
+			s.Compute.Peak*s.Compute.EffMax, s.Compute.BHalf)
+	}
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			fmt.Println("Table 1 — fixed simulation parameters")
+			fmt.Print(s.Table1())
+		case "fig4":
+			fmt.Print(experiments.RenderFig4(s.Fig4()))
+		case "eq5":
+			fmt.Print(experiments.RenderEq5(s.Eq5()))
+		case "fig6", "fig7", "fig8":
+			mode := planner.Uniform
+			overlap := false
+			title := "Fig. 6 — strong scaling, same Pr×Pc grid for all layers"
+			if name == "fig7" {
+				mode = planner.ConvBatch
+				title = "Fig. 7 — strong scaling, conv layers pure batch, FC layers on the grid"
+			}
+			if name == "fig8" {
+				mode = planner.ConvBatch
+				overlap = true
+				title = "Fig. 8 — Fig. 7 with perfect comm/backprop overlap"
+			}
+			res, err := s.StrongScaling(mode, overlap, *batch, parsePs(*ps, experiments.StandardFig6Ps()))
+			if err != nil {
+				return err
+			}
+			emitScaling(title, res, *csv, s.DatasetN)
+		case "fig9":
+			res, err := s.WeakScaling(planner.Uniform, experiments.StandardFig9Pairs())
+			if err != nil {
+				return err
+			}
+			emitScaling("Fig. 9 — weak scaling (B and P grow together), uniform grids", res, *csv, s.DatasetN)
+			// The caption's remark: "a better approach is to use pure batch
+			// parallelism for convolutional layers" — quantified.
+			better, err := s.WeakScaling(planner.ConvBatch, experiments.StandardFig9Pairs())
+			if err != nil {
+				return err
+			}
+			emitScaling("Fig. 9 (improved per caption) — conv layers pure batch", better, *csv, s.DatasetN)
+		case "fig10":
+			res, err := s.BeyondBatch(*beyondB, parsePs(*ps, experiments.StandardFig10Ps()))
+			if err != nil {
+				return err
+			}
+			emitScaling(fmt.Sprintf("Fig. 10 — scaling beyond the P=B=%d limit with domain-parallel convs", *beyondB),
+				res, *csv, s.DatasetN)
+		case "verify":
+			reps, err := experiments.VerifyEngines(4, 8, 7, machine.CoriKNL())
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderEngineReports(reps))
+		case "sensitivity":
+			rows, err := s.Sensitivity()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderSensitivity(rows))
+		case "memory":
+			fmt.Print(experiments.RenderMemory(s.MemoryStudy(*batch, 512), *batch, 512))
+		case "onebyone":
+			row, err := s.OneByOneStudy(128, 512)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderOneByOne(row))
+		case "modelcheck":
+			rows, err := experiments.ModelCheck()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderModelCheck(rows))
+		case "convergence":
+			rows, err := experiments.Convergence(4, 11)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderConvergence(rows, 4))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig4", "eq5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			"verify", "sensitivity", "memory", "onebyone", "modelcheck", "convergence"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "dnnsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emitScaling(title string, res []experiments.ScalingResult, csv bool, n int) {
+	if csv {
+		fmt.Print(experiments.ScalingCSV(res))
+		return
+	}
+	fmt.Print(experiments.RenderScaling(title, res, true, n))
+}
+
+func parsePs(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "dnnsim: bad process count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+// Beyond-batch scaling (the Fig. 10 story): with B = 512 fixed, pure batch
+// parallelism cannot use more than 512 processes — each process already
+// holds a single sample. Domain parallelism splits individual samples
+// spatially and keeps scaling to P = 4096, with each image partitioned
+// into Pr slabs.
+package main
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/experiments"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/report"
+)
+
+func main() {
+	s := experiments.Default()
+	const B = 512
+
+	// First show the wall: pure batch refuses P > B.
+	net := nn.AlexNet()
+	opts := planner.DefaultOptions()
+	opts.Mode = planner.ConvBatch
+	if _, err := planner.Optimize(net, B, 1024, opts); err != nil {
+		fmt.Printf("pure batch / conv-batch at P=1024, B=%d: %v\n", B, err)
+	}
+
+	// Then break through it with domain-parallel convolutions.
+	res, err := s.BeyondBatch(B, experiments.StandardFig10Ps())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nDomain-parallel scaling past P = B = %d (Fig. 10):\n", B)
+	var rows [][]string
+	base := res[0].Best.IterSeconds
+	for _, r := range res {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.P),
+			r.Best.Grid.String(),
+			fmt.Sprintf("%d", r.Best.Grid.Pr),
+			report.F(r.Best.IterSeconds),
+			fmt.Sprintf("%.2fx", base/r.Best.IterSeconds),
+		})
+	}
+	fmt.Print(report.Table(
+		[]string{"P", "best grid", "image parts (Pr)", "s/iter", "scaling vs P=512"},
+		rows))
+
+	fmt.Println("\nPer-layer strategy at P=4096 (early layers: domain; FC: model):")
+	last := res[len(res)-1]
+	for _, li := range net.WeightedLayers() {
+		fmt.Printf("  %-6s → %v\n", net.Layers[li].Name, last.Best.Assignment[li])
+	}
+}

@@ -1,0 +1,62 @@
+// Strong scaling study (the Figs. 6/7/8 workflow): fix the global batch at
+// 2048 and sweep P = 8 … 512, comparing three policies for convolutional
+// layers — the same grid everywhere (Fig. 6), pure batch for convs
+// (Fig. 7), and Fig. 7 with perfect communication/backprop overlap
+// (Fig. 8). Prints the per-P winner and the speedups over pure batch.
+package main
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/experiments"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/report"
+)
+
+func main() {
+	s := experiments.Default()
+	const B = 2048
+	ps := experiments.StandardFig6Ps()
+
+	type policy struct {
+		name    string
+		mode    planner.Mode
+		overlap bool
+	}
+	policies := []policy{
+		{"uniform grid (Fig. 6)", planner.Uniform, false},
+		{"conv=batch, fc=model (Fig. 7)", planner.ConvBatch, false},
+		{"Fig. 7 + overlap (Fig. 8)", planner.ConvBatch, true},
+	}
+
+	for _, pol := range policies {
+		res, err := s.StrongScaling(pol.mode, pol.overlap, B, ps)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("\n=== %s, B=%d ===\n", pol.name, B)
+		var rows [][]string
+		for _, r := range res {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", r.P),
+				r.Best.Grid.String(),
+				report.F(r.Best.CommSeconds),
+				report.F(r.Best.CompSeconds),
+				report.F(r.Best.EpochSeconds),
+				fmt.Sprintf("%.2fx", r.TotalSpeedup),
+				fmt.Sprintf("%.2fx", r.CommSpeedup),
+			})
+		}
+		fmt.Print(report.Table(
+			[]string{"P", "best grid", "comm s/iter", "comp s/iter", "s/epoch", "total speedup", "comm speedup"},
+			rows))
+	}
+
+	// The Fig. 6 detail view at P = 512: every grid, as a bar chart.
+	res, err := s.StrongScaling(planner.Uniform, false, B, []int{512})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderScaling("Detail: Fig. 6 at P=512 — every Pr×Pc grid", res, false, s.DatasetN))
+}

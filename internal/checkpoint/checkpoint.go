@@ -1,0 +1,85 @@
+// Package checkpoint provides weight snapshotting for the training
+// engines — the operational piece a downstream user of a distributed
+// trainer needs: persist the (fully assembled) weights at a step, resume
+// later, and land on the identical trajectory.
+//
+// Snapshots store the assembled weight list, so any engine can resume a
+// run started under any other engine: the paper's point that every
+// parallelization computes the same iteration makes checkpoints fully
+// interchangeable across strategies.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"dnnparallel/internal/tensor"
+)
+
+// Snapshot is a point-in-time view of a training run.
+type Snapshot struct {
+	// Network is the spec name (sanity-checked on resume).
+	Network string
+	// Step is the number of completed SGD steps.
+	Step int
+	// Seed is the run's initialization seed (for provenance).
+	Seed int64
+	// Weights is the assembled weight list in nn.Model order.
+	Weights []*tensor.Matrix
+}
+
+// Save writes the snapshot to w.
+func Save(w io.Writer, s *Snapshot) error {
+	if s == nil || len(s.Weights) == 0 {
+		return fmt.Errorf("checkpoint: empty snapshot")
+	}
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from r and validates its shape invariants.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	for i, m := range s.Weights {
+		if m == nil || m.Rows <= 0 || m.Cols <= 0 || len(m.Data) != m.Rows*m.Cols {
+			return nil, fmt.Errorf("checkpoint: weight %d malformed", i)
+		}
+	}
+	return &s, nil
+}
+
+// SaveFile writes the snapshot to path atomically (write-then-rename).
+func SaveFile(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := Save(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

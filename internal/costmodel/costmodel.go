@@ -1,0 +1,337 @@
+// Package costmodel implements the paper's communication-complexity
+// formulas — Eq. 3 (pure model), Eq. 4 (pure batch), Eq. 6 (redistribution),
+// Eq. 7 (pure domain), Eq. 8 (integrated 1.5D model+batch) and Eq. 9 (fully
+// integrated model+batch+domain) — as per-layer α–β cost breakdowns, plus
+// the 2D-SUMMA comparison of Section 4 and the communication/computation
+// overlap variant of Fig. 8.
+//
+// All formulas follow the paper's conventions: sums run over weighted
+// layers (conv and FC); the activation all-gather sum runs over all
+// weighted layers; the ∆X all-reduce sum skips the first weighted layer
+// (no gradient is propagated past layer 1); volumes are in words.
+package costmodel
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/collective"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+)
+
+// Strategy says how the Pr grid dimension is used for one layer in the
+// fully integrated scheme of Eq. 9.
+type Strategy int
+
+const (
+	// Model: the layer is in L_M — Pr partitions the weight matrix
+	// (1.5D model parallelism, Fig. 5).
+	Model Strategy = iota
+	// Domain: the layer is in L_D — Pr partitions each sample spatially
+	// (halo exchanges, Fig. 3); weights are replicated on all P processes
+	// and the gradient all-reduce spans all P.
+	Domain
+	// BatchOnly: the layer uses Pr = 1 — pure batch parallelism across
+	// all P processes (the Fig. 7 treatment of convolutional layers).
+	BatchOnly
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Model:
+		return "model"
+	case Domain:
+		return "domain"
+	case BatchOnly:
+		return "batch"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// LayerCost is the α–β communication cost of one weighted layer, split by
+// term so figures can show e.g. the batch-parallel (gradient all-reduce)
+// portion separately, as the cross-hatching in Fig. 6 does.
+type LayerCost struct {
+	Index    int    // index into Network.Layers
+	Name     string // layer name
+	Strategy Strategy
+
+	AllGather  collective.Cost // forward activation all-gather (model part)
+	ActReduce  collective.Cost // backprop ∆X all-reduce (model part)
+	GradReduce collective.Cost // ∆W all-reduce (batch part)
+	Halo       collective.Cost // halo exchange, forward + backward (domain part)
+}
+
+// Total returns the layer's total cost.
+func (lc LayerCost) Total() collective.Cost {
+	return lc.AllGather.Add(lc.ActReduce).Add(lc.GradReduce).Add(lc.Halo)
+}
+
+// Breakdown is a whole-network per-iteration communication cost.
+type Breakdown struct {
+	Desc   string
+	Layers []LayerCost
+}
+
+// Total returns the per-iteration total communication cost.
+func (b *Breakdown) Total() collective.Cost {
+	var t collective.Cost
+	for _, l := range b.Layers {
+		t = t.Add(l.Total())
+	}
+	return t
+}
+
+// TotalSeconds returns Total().Total().
+func (b *Breakdown) TotalSeconds() float64 { return b.Total().Total() }
+
+// GradReduceSeconds returns the batch-parallel portion (the ∆W
+// all-reduce), i.e. the cross-hatched bars of Fig. 6.
+func (b *Breakdown) GradReduceSeconds() float64 {
+	var t collective.Cost
+	for _, l := range b.Layers {
+		t = t.Add(l.GradReduce)
+	}
+	return t.Total()
+}
+
+// ForwardSeconds returns the forward-pass communication (activation
+// all-gathers plus half the halo exchanges).
+func (b *Breakdown) ForwardSeconds() float64 {
+	var t float64
+	for _, l := range b.Layers {
+		t += l.AllGather.Total() + l.Halo.Total()/2
+	}
+	return t
+}
+
+// BackwardSeconds returns the backprop communication (∆X and ∆W
+// all-reduces plus half the halo exchanges) — the portion Fig. 8 overlaps
+// with computation.
+func (b *Breakdown) BackwardSeconds() float64 {
+	var t float64
+	for _, l := range b.Layers {
+		t += l.ActReduce.Total() + l.GradReduce.Total() + l.Halo.Total()/2
+	}
+	return t
+}
+
+// PureModel returns Eq. 3: 1-D model parallelism over P processes.
+//
+//	T = Σ_{i=1..L} (α⌈log P⌉ + β·B·(P−1)/P·d_i)
+//	  + 2·Σ_{i=2..L} (α⌈log P⌉ + β·B·(P−1)/P·d_{i−1})
+func PureModel(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
+	b := &Breakdown{Desc: fmt.Sprintf("pure model, P=%d, B=%d", P, B)}
+	widx := net.WeightedLayers()
+	for k, li := range widx {
+		l := &net.Layers[li]
+		lc := LayerCost{Index: li, Name: l.Name, Strategy: Model}
+		lc.AllGather = collective.AllGather(P, float64(B)*float64(l.OutSize()), m)
+		if k > 0 { // no ∆X beyond the first layer
+			lc.ActReduce = collective.AllReduce(P, float64(B)*float64(l.InSize()), m)
+		}
+		b.Layers = append(b.Layers, lc)
+	}
+	return b
+}
+
+// PureBatch returns Eq. 4: batch parallelism over P processes.
+//
+//	T = 2·Σ_i (α⌈log P⌉ + β·(P−1)/P·|W_i|)
+func PureBatch(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
+	b := &Breakdown{Desc: fmt.Sprintf("pure batch, P=%d, B=%d", P, B)}
+	for _, li := range net.WeightedLayers() {
+		l := &net.Layers[li]
+		lc := LayerCost{Index: li, Name: l.Name, Strategy: BatchOnly}
+		lc.GradReduce = collective.AllReduce(P, float64(l.Weights()), m)
+		b.Layers = append(b.Layers, lc)
+	}
+	return b
+}
+
+// Redistribute returns Eq. 6: the one-time cost of switching layer i's
+// activations from a batch distribution to a model distribution — an
+// all-gather of B·d_i words over P processes. The paper notes this is
+// asymptotically free relative to the subsequent model-parallel step.
+func Redistribute(net *nn.Network, li, B, P int, m machine.Machine) collective.Cost {
+	l := &net.Layers[li]
+	return collective.AllGather(P, float64(B)*float64(l.OutSize()), m)
+}
+
+// PureDomain returns Eq. 7: domain parallelism over P processes. Each
+// process holds all weights but a 1/P horizontal slab of every sample.
+//
+//	T = Σ_i (α + β·B·X_W·X_C·⌊kh/2⌋)        forward input halo
+//	  + Σ_i (α + β·B·Y_W·Y_C·⌊kw/2⌋)        backward output halo
+//	  + 2·Σ_i (α⌈log P⌉ + β·(P−1)/P·|W_i|)  gradient all-reduce
+//
+// For fully-connected layers the paper sets kh = X_H, kw = X_W ("the halo
+// region will consist of all of the input activations"); we encode that
+// intent directly: the FC halo volume is the entire input (forward) and
+// output (backward) activation block, which is why domain parallelism is
+// never chosen for FC layers.
+func PureDomain(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
+	b := &Breakdown{Desc: fmt.Sprintf("pure domain, P=%d, B=%d", P, B)}
+	for _, li := range net.WeightedLayers() {
+		// Pure domain does not split the batch (Pc = 1): every process
+		// holds a slab of all B samples, so halo volumes carry the full B
+		// of Eq. 7.
+		b.Layers = append(b.Layers, domainLayerCost(net, li, B, 1, P, m))
+	}
+	return b
+}
+
+// domainLayerCost is the Eq. 7 / Eq. 9 per-layer domain cost with halo
+// volumes scaled by the local batch B/Pc and the gradient all-reduce over
+// all P processes.
+func domainLayerCost(net *nn.Network, li, B, pc, pTotal int, m machine.Machine) LayerCost {
+	l := &net.Layers[li]
+	lc := LayerCost{Index: li, Name: l.Name, Strategy: Domain}
+	localB := float64(B) / float64(pc)
+	switch l.Kind {
+	case nn.Conv:
+		fwdHalo := localB * float64(l.In.W*l.In.C) * float64(l.KH/2)
+		bwdHalo := localB * float64(l.Out.W*l.Out.C) * float64(l.KW/2)
+		var halo collective.Cost
+		if fwdHalo > 0 {
+			halo = halo.Add(collective.PointToPoint(fwdHalo, m))
+		}
+		if bwdHalo > 0 {
+			halo = halo.Add(collective.PointToPoint(bwdHalo, m))
+		}
+		lc.Halo = halo
+	case nn.FC:
+		// Whole input forward, whole output gradient backward.
+		lc.Halo = collective.PointToPoint(localB*float64(l.InSize()), m).
+			Add(collective.PointToPoint(localB*float64(l.OutSize()), m))
+	}
+	lc.GradReduce = collective.AllReduce(pTotal, float64(l.Weights()), m)
+	return lc
+}
+
+// Integrated returns Eq. 8: the 1.5D integrated model+batch algorithm on a
+// Pr × Pc grid. Every weighted layer is treated as model-parallel along Pr.
+//
+//	T = Σ_{i=1..L} (α⌈log Pr⌉ + β·(B/Pc)·(Pr−1)/Pr·d_i)
+//	  + 2·Σ_{i=2..L} (α⌈log Pr⌉ + β·(B/Pc)·(Pr−1)/Pr·d_{i−1})
+//	  + 2·Σ_i (α⌈log Pc⌉ + β·(Pc−1)/Pc·|W_i|/Pr)
+//
+// With Pr = 1 it reduces exactly to Eq. 4; with Pc = 1 the first two sums
+// are exactly Eq. 3 and the third vanishes.
+func Integrated(net *nn.Network, B int, g grid.Grid, m machine.Machine) *Breakdown {
+	b := &Breakdown{Desc: fmt.Sprintf("integrated 1.5D, grid=%v, B=%d", g, B)}
+	widx := net.WeightedLayers()
+	for k, li := range widx {
+		b.Layers = append(b.Layers, modelLayerCost(net, li, B, g, m, k == 0))
+	}
+	return b
+}
+
+// modelLayerCost is the Eq. 8 per-layer cost for a layer in L_M.
+func modelLayerCost(net *nn.Network, li, B int, g grid.Grid, m machine.Machine, first bool) LayerCost {
+	l := &net.Layers[li]
+	lc := LayerCost{Index: li, Name: l.Name, Strategy: Model}
+	localB := float64(B) / float64(g.Pc)
+	lc.AllGather = collective.AllGather(g.Pr, localB*float64(l.OutSize()), m)
+	if !first {
+		lc.ActReduce = collective.AllReduce(g.Pr, localB*float64(l.InSize()), m)
+	}
+	lc.GradReduce = collective.AllReduce(g.Pc, float64(l.Weights())/float64(g.Pr), m)
+	return lc
+}
+
+// batchOnlyLayerCost is the Fig. 7 per-layer cost for a conv layer forced
+// to pure batch parallelism across all P processes.
+func batchOnlyLayerCost(net *nn.Network, li, pTotal int, m machine.Machine) LayerCost {
+	l := &net.Layers[li]
+	return LayerCost{
+		Index: li, Name: l.Name, Strategy: BatchOnly,
+		GradReduce: collective.AllReduce(pTotal, float64(l.Weights()), m),
+	}
+}
+
+// Assignment maps each weighted layer index (an index into Network.Layers)
+// to its Strategy. Layers absent from the map default to Model, making
+// FullIntegrated(…, nil, …) ≡ Integrated (L_M = all layers, L_D = ∅).
+type Assignment map[int]Strategy
+
+// UniformAssignment returns an Assignment giving strategy s to every
+// weighted layer.
+func UniformAssignment(net *nn.Network, s Strategy) Assignment {
+	a := make(Assignment)
+	for _, li := range net.WeightedLayers() {
+		a[li] = s
+	}
+	return a
+}
+
+// ConvAssignment returns the split used by Figs. 7 and 10: convolutional
+// layers get convStrategy (BatchOnly for Fig. 7, Domain for Fig. 10) and
+// fully-connected layers get fcStrategy (Model).
+func ConvAssignment(net *nn.Network, convStrategy, fcStrategy Strategy) Assignment {
+	a := make(Assignment)
+	for _, li := range net.WeightedLayers() {
+		if net.Layers[li].Kind == nn.Conv {
+			a[li] = convStrategy
+		} else {
+			a[li] = fcStrategy
+		}
+	}
+	return a
+}
+
+// FullIntegrated returns Eq. 9: the fully integrated model+batch+domain
+// cost on a Pr × Pc grid with a per-layer strategy assignment. L_M layers
+// pay Eq. 8 terms over the Pr/Pc groups; L_D layers pay halo exchanges at
+// local batch B/Pc plus a full-P gradient all-reduce; BatchOnly layers pay
+// only the full-P gradient all-reduce.
+func FullIntegrated(net *nn.Network, B int, g grid.Grid, assign Assignment, m machine.Machine) *Breakdown {
+	b := &Breakdown{Desc: fmt.Sprintf("full integrated, grid=%v, B=%d", g, B)}
+	widx := net.WeightedLayers()
+	firstModel := true
+	for _, li := range widx {
+		s := Model
+		if assign != nil {
+			if v, ok := assign[li]; ok {
+				s = v
+			}
+		}
+		switch s {
+		case Model:
+			b.Layers = append(b.Layers, modelLayerCost(net, li, B, g, m, firstModel && li == widx[0]))
+			firstModel = false
+		case Domain:
+			b.Layers = append(b.Layers, domainLayerCost(net, li, B, g.Pc, g.P(), m))
+		case BatchOnly:
+			b.Layers = append(b.Layers, batchOnlyLayerCost(net, li, g.P(), m))
+		}
+	}
+	return b
+}
+
+// VolumeRatioBatchOverModel returns Eq. 5 for one convolutional layer: the
+// ratio of pure-batch to pure-model communication *volume*,
+// 2·|W_i| / (3·B·d_i) = 2·kh·kw·X_C / (3·B·Y_H·Y_W). Values > 1 mean model
+// parallelism moves fewer words.
+func VolumeRatioBatchOverModel(l *nn.Layer, B int) float64 {
+	return 2 * float64(l.Weights()) / (3 * float64(B) * float64(l.OutSize()))
+}
+
+// ModelBatchCrossoverB returns the largest batch size for which model
+// parallelism has lower communication volume than batch parallelism on
+// layer l (Eq. 5): B < 2·kh·kw·X_C/(3·Y_H·Y_W). Returns 0 when batch
+// parallelism always wins.
+func ModelBatchCrossoverB(l *nn.Layer) int {
+	num := 2 * float64(l.Weights())
+	den := 3 * float64(l.OutSize())
+	cross := num / den
+	b := int(cross)
+	if float64(b) == cross && b > 0 {
+		b-- // strict inequality
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/nn"
+)
+
+// TestMemoryPureBatchReplicatesModel: at Pr = 1 every process holds the
+// whole model (the paper: "solutions that exploit pure data parallelism
+// often replicate the whole model in each node").
+func TestMemoryPureBatchReplicatesModel(t *testing.T) {
+	net := nn.AlexNet()
+	m := Memory(net, 2048, grid.Grid{Pr: 1, Pc: 512}, nil)
+	if w := float64(net.TotalWeights()); m.WeightWords != w {
+		t.Fatalf("pure batch weight words = %g, want %g", m.WeightWords, w)
+	}
+}
+
+// TestMemoryModelShardCutsPr: the 1.5D scheme cuts model replication by
+// exactly Pr.
+func TestMemoryModelShardCutsPr(t *testing.T) {
+	net := nn.AlexNet()
+	f := func(prExp uint8) bool {
+		pr := 1 << (int(prExp) % 7) // 1 … 64
+		full := Memory(net, 1024, grid.Grid{Pr: 1, Pc: 64}, nil).WeightWords
+		cut := Memory(net, 1024, grid.Grid{Pr: pr, Pc: 64}, nil).WeightWords
+		return math.Abs(cut-full/float64(pr)) < 1e-9*full
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoryDataReplicationGrowsWithPr: at fixed P, pushing Pr up means
+// each sample's activations are held by more processes — the activation
+// term per process stays B/Pc·d = B·d·Pr/P, growing linearly in Pr.
+func TestMemoryDataReplicationGrowsWithPr(t *testing.T) {
+	net := nn.AlexNet()
+	const P, B = 256, 1024
+	prev := 0.0
+	for pr := 1; pr <= P; pr *= 4 {
+		g := grid.Grid{Pr: pr, Pc: P / pr}
+		act := Memory(net, B, g, nil).ActivationWords
+		if act <= prev {
+			t.Fatalf("activation words should grow with Pr: %g at Pr=%d after %g", act, pr, prev)
+		}
+		prev = act
+	}
+}
+
+// TestMemoryLinearCombinationClaim: Section 4 — the 1.5D memory cost is a
+// linear combination of the pure-batch and pure-model extremes. Checked
+// term-by-term: weights interpolate as 1/Pr of the batch extreme;
+// activations interpolate as Pr× the batch extreme.
+func TestMemoryLinearCombinationClaim(t *testing.T) {
+	net := nn.AlexNet()
+	const P, B = 64, 512
+	batchEnd := Memory(net, B, grid.Grid{Pr: 1, Pc: P}, nil)
+	modelEnd := Memory(net, B, grid.Grid{Pr: P, Pc: 1}, nil)
+	for _, pr := range []int{2, 4, 8, 16, 32} {
+		g := grid.Grid{Pr: pr, Pc: P / pr}
+		m := Memory(net, B, g, nil)
+		wantW := batchEnd.WeightWords / float64(pr)
+		if math.Abs(m.WeightWords-wantW) > 1e-9*wantW {
+			t.Fatalf("Pr=%d: weights %g, want %g", pr, m.WeightWords, wantW)
+		}
+		wantA := batchEnd.ActivationWords * float64(pr)
+		if math.Abs(m.ActivationWords-wantA) > 1e-9*wantA {
+			t.Fatalf("Pr=%d: activations %g, want %g", pr, m.ActivationWords, wantA)
+		}
+		if modelEnd.WeightWords > batchEnd.WeightWords {
+			t.Fatal("model extreme should hold fewer weights per process")
+		}
+	}
+}
+
+// TestMemoryNeverBelow2DBound: 1.5D replicates at least one matrix, so it
+// can never beat the memory-optimal 2D footprint (the paper's "main
+// advantage of 2D algorithms").
+func TestMemoryNeverBelow2DBound(t *testing.T) {
+	net := nn.AlexNet()
+	f := func(gIdx uint8, bExp uint8) bool {
+		grids := grid.Factorizations(256)
+		g := grids[int(gIdx)%len(grids)]
+		b := 256 << (int(bExp) % 4)
+		bound := Memory2DLowerBound(net, b, g.P())
+		m := Memory(net, b, g, nil)
+		return m.TotalWords() >= bound-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoryDomainKeepsFullWeightsButSlabActivations: domain layers
+// replicate all weights (like batch) but hold only a 1/Pr activation slab
+// plus halos.
+func TestMemoryDomainKeepsFullWeightsButSlabActivations(t *testing.T) {
+	net := nn.AlexNet()
+	g := grid.Grid{Pr: 8, Pc: 64}
+	assign := ConvAssignment(net, Domain, Model)
+	m := Memory(net, 512, g, assign)
+	uniform := Memory(net, 512, g, nil)
+	// Domain conv weights are 8× the sharded uniform conv weights; conv
+	// weights are ~6% of AlexNet, so total weight words grow but stay
+	// below full replication.
+	if m.WeightWords <= uniform.WeightWords {
+		t.Fatal("domain conv layers should hold more weight words than sharded ones")
+	}
+	if m.WeightWords >= float64(net.TotalWeights()) {
+		t.Fatal("FC shards should keep total weights below full replication")
+	}
+	// Activation words shrink: conv activations dominate AlexNet and the
+	// domain slab is 1/Pr of the uniform panel.
+	if m.ActivationWords >= uniform.ActivationWords {
+		t.Fatalf("domain slabs (%g) should beat replicated panels (%g)",
+			m.ActivationWords, uniform.ActivationWords)
+	}
+	if m.TotalBytes() <= 0 {
+		t.Fatal("bytes conversion broken")
+	}
+}
+
+// TestMemoryGradientMirrorsWeights: gradient buffers match weight storage
+// layer-by-layer under every strategy.
+func TestMemoryGradientMirrorsWeights(t *testing.T) {
+	net := nn.AlexNet()
+	for _, assign := range []Assignment{nil, ConvAssignment(net, Domain, Model), ConvAssignment(net, BatchOnly, Model)} {
+		m := Memory(net, 256, grid.Grid{Pr: 4, Pc: 16}, assign)
+		if m.GradientWords != m.WeightWords {
+			t.Fatalf("gradient words %g ≠ weight words %g", m.GradientWords, m.WeightWords)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package costmodel
+
+import "dnnparallel/internal/compute"
+
+// IterationSeconds combines a per-iteration communication breakdown with a
+// per-process computation time.
+//
+// With overlap=false, communication and computation serialize (the
+// baseline of Figs. 6, 7, 9, 10).
+//
+// With overlap=true it applies the Fig. 8 idealization: backprop
+// communication (the ∆X and ∆W all-reduces plus the backward halo — the
+// paper's "two-thirds of the communication") hides perfectly behind
+// backprop computation (2 of the 3 GEMMs); forward communication remains
+// exposed because the all-gather blocks the next layer's compute.
+func IterationSeconds(b *Breakdown, compSeconds float64, overlap bool) float64 {
+	comm := b.TotalSeconds()
+	if !overlap {
+		return comm + compSeconds
+	}
+	bwdComm := b.BackwardSeconds()
+	fwdComm := comm - bwdComm
+	bwdComp := compute.BackpropFraction * compSeconds
+	exposed := bwdComm - bwdComp
+	if exposed < 0 {
+		exposed = 0
+	}
+	return compSeconds + fwdComm + exposed
+}
+
+// EpochIterations returns ⌈N/B⌉, the SGD steps per epoch.
+func EpochIterations(n, b int) int { return (n + b - 1) / b }
+
+// EpochSeconds scales a per-iteration time to one epoch over n samples.
+func EpochSeconds(perIter float64, n, b int) float64 {
+	return perIter * float64(EpochIterations(n, b))
+}

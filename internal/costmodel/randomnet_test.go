@@ -1,0 +1,130 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/nn"
+)
+
+// randomNetwork builds a random valid conv+fc stack — the cost-model
+// identities must hold for arbitrary architectures, not just AlexNet.
+func randomNetwork(rng *rand.Rand) *nn.Network {
+	n := &nn.Network{
+		Name:  "random",
+		Input: nn.Shape{H: 16 + 8*rng.Intn(8), W: 16 + 8*rng.Intn(8), C: 1 + rng.Intn(8)},
+	}
+	convs := 1 + rng.Intn(4)
+	for i := 0; i < convs; i++ {
+		k := []int{1, 3, 5}[rng.Intn(3)]
+		n.Layers = append(n.Layers, nn.Layer{
+			Kind: nn.Conv, Name: fmt.Sprintf("conv%d", i),
+			KH: k, KW: k, Stride: 1, Pad: k / 2, OutC: 4 << rng.Intn(5),
+		})
+		if rng.Intn(2) == 0 {
+			n.Layers = append(n.Layers, nn.Layer{
+				Kind: nn.Pool, Name: fmt.Sprintf("pool%d", i), KH: 2, KW: 2, Stride: 2,
+			})
+		}
+	}
+	fcs := 1 + rng.Intn(3)
+	for i := 0; i < fcs; i++ {
+		n.Layers = append(n.Layers, nn.Layer{
+			Kind: nn.FC, Name: fmt.Sprintf("fc%d", i), OutN: 16 << rng.Intn(7),
+		})
+	}
+	if err := n.Infer(); err != nil {
+		return nil
+	}
+	return n
+}
+
+// TestRandomNetsIntegratedLimits: Eq. 8's Pr=1 ⇒ Eq. 4 and Pc=1 ⇒ Eq. 3
+// reductions hold for random architectures.
+func TestRandomNetsIntegratedLimits(t *testing.T) {
+	f := func(seed int64, pRaw uint8, bRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNetwork(rng)
+		if net == nil {
+			return true
+		}
+		p := 2 + int(pRaw)%62
+		b := 1 + int(bRaw)%512
+		eq8b := Integrated(net, b, grid.Grid{Pr: 1, Pc: p}, knl()).TotalSeconds()
+		eq4 := PureBatch(net, b, p, knl()).TotalSeconds()
+		if math.Abs(eq8b-eq4) > 1e-12*math.Max(1, eq4) {
+			return false
+		}
+		eq8m := Integrated(net, b, grid.Grid{Pr: p, Pc: 1}, knl()).TotalSeconds()
+		eq3 := PureModel(net, b, p, knl()).TotalSeconds()
+		return math.Abs(eq8m-eq3) < 1e-12*math.Max(1, eq3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomNetsBreakdownConsistency: for any net, grid, and assignment,
+// forward + backward partitions total, grad-reduce is a subset, and all
+// costs are non-negative and finite.
+func TestRandomNetsBreakdownConsistency(t *testing.T) {
+	strategies := []Strategy{Model, Domain, BatchOnly}
+	f := func(seed int64, gRaw uint8, bRaw uint16, sRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNetwork(rng)
+		if net == nil {
+			return true
+		}
+		grids := grid.Factorizations(64)
+		g := grids[int(gRaw)%len(grids)]
+		b := g.Pc * (1 + int(bRaw)%64)
+		assign := make(Assignment)
+		for _, li := range net.WeightedLayers() {
+			if net.Layers[li].Kind == nn.Conv {
+				assign[li] = strategies[(int(sRaw)+li)%len(strategies)]
+			} else {
+				assign[li] = Model
+			}
+		}
+		bd := FullIntegrated(net, b, g, assign, knl())
+		total := bd.TotalSeconds()
+		if math.IsNaN(total) || math.IsInf(total, 0) || total < 0 {
+			return false
+		}
+		if math.Abs(bd.ForwardSeconds()+bd.BackwardSeconds()-total) > 1e-12*math.Max(1, total) {
+			return false
+		}
+		return bd.GradReduceSeconds() >= 0 && bd.GradReduceSeconds() <= total+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomNetsMemoryMonotone: for any net, more Pr ⇒ fewer weight words
+// per process (uniform model assignment).
+func TestRandomNetsMemoryMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNetwork(rng)
+		if net == nil {
+			return true
+		}
+		prev := math.Inf(1)
+		for _, pr := range []int{1, 2, 4, 8} {
+			m := Memory(net, 64, grid.Grid{Pr: pr, Pc: 8}, nil)
+			if m.WeightWords >= prev {
+				return false
+			}
+			prev = m.WeightWords
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package costmodel
+
+import (
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+)
+
+// This file implements the Section 4 comparison between the paper's 1.5D
+// algorithm and 2D SUMMA variants for the forward product Y = W·X.
+//
+// The paper's analysis makes the simplification d_i = d_{i−1} = d ("For
+// simplicity assume that di = di−1"); we adopt it too, using d = d_i for
+// every variant so the volumes are directly comparable. Per-process
+// forward communication volumes on a Pr × Pc grid (m = d split over Pr,
+// n = B split over Pc):
+//
+//   - 1.5D (ours):        (Pr−1)/Pr · B·d/Pc      (all-gather of the Y panel)
+//   - stationary-A SUMMA: 2·B·d/Pr + B·d/Pc       (Y reduction + X panels)
+//   - stationary-C SUMMA: |W|/Pr + B·d/Pc         (W panels + X panels)
+//
+// The claims verified in summa_test.go: stationary-A approaches 1.5D when
+// Pr ≫ Pc but never beats it, and no 2D variant is strictly favorable in
+// communication volume at any grid ("there is no regime where 2D becomes
+// strictly favorable").
+
+// ForwardVolume15D returns the per-process forward-pass communication
+// volume (words) of the 1.5D algorithm for layer l on grid g with global
+// batch B: the all-gather of the local activation panel.
+func ForwardVolume15D(l *nn.Layer, B int, g grid.Grid) float64 {
+	if g.Pr <= 1 {
+		return 0
+	}
+	return float64(B) / float64(g.Pc) * float64(l.OutSize()) * float64(g.Pr-1) / float64(g.Pr)
+}
+
+// ForwardVolumeSUMMAStationaryA returns the per-process forward volume
+// (words) of stationary-A SUMMA: W stays put, X panels circulate along Pc
+// and partial Y results reduce along Pr (the factor 2).
+func ForwardVolumeSUMMAStationaryA(l *nn.Layer, B int, g grid.Grid) float64 {
+	d := float64(l.OutSize())
+	bf := float64(B)
+	return 2*bf*d/float64(g.Pr) + bf*d/float64(g.Pc)
+}
+
+// ForwardVolumeSUMMAStationaryC returns the per-process forward volume
+// (words) of stationary-C SUMMA: Y stays put, W panels circulate along Pr
+// and X panels along Pc.
+func ForwardVolumeSUMMAStationaryC(l *nn.Layer, B int, g grid.Grid) float64 {
+	d := float64(l.OutSize())
+	return float64(l.Weights())/float64(g.Pr) + float64(B)*d/float64(g.Pc)
+}
+
+// SUMMAComparison summarizes the Section 4 discussion for one layer.
+type SUMMAComparison struct {
+	Layer      string
+	Grid       grid.Grid
+	B          int
+	Vol15D     float64
+	VolSUMMA_A float64
+	VolSUMMA_C float64
+	TwoDRatioA float64 // SUMMA-A / 1.5D volume
+	TwoDRatioC float64 // SUMMA-C / 1.5D volume
+	// WeightsBigger flags the |W_i| > B·d_i regime the paper discusses
+	// (typical for FC layers at modest batch sizes).
+	WeightsBigger bool
+}
+
+// CompareSUMMA evaluates the three variants for layer l.
+func CompareSUMMA(l *nn.Layer, B int, g grid.Grid, _ machine.Machine) SUMMAComparison {
+	v15 := ForwardVolume15D(l, B, g)
+	va := ForwardVolumeSUMMAStationaryA(l, B, g)
+	vc := ForwardVolumeSUMMAStationaryC(l, B, g)
+	c := SUMMAComparison{
+		Layer: l.Name, Grid: g, B: B,
+		Vol15D: v15, VolSUMMA_A: va, VolSUMMA_C: vc,
+		WeightsBigger: float64(l.Weights()) > float64(B)*float64(l.OutSize()),
+	}
+	if v15 > 0 {
+		c.TwoDRatioA = va / v15
+		c.TwoDRatioC = vc / v15
+	}
+	return c
+}

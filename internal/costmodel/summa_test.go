@@ -1,0 +1,69 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+)
+
+// TestNoRegimeWhere2DWins is the Section 4 claim: "there is no regime
+// where 2D becomes strictly favorable in terms of communication volume."
+// We sweep AlexNet layers, batch sizes, and grids and require
+// vol(1.5D) ≤ vol(SUMMA-A) and vol(1.5D) ≤ vol(SUMMA-C).
+func TestNoRegimeWhere2DWins(t *testing.T) {
+	net := nn.AlexNet()
+	m := machine.CoriKNL()
+	f := func(liRaw, gRaw uint8, bRaw uint16) bool {
+		widx := net.WeightedLayers()
+		li := widx[int(liRaw)%len(widx)]
+		grids := grid.Factorizations(1024)
+		g := grids[int(gRaw)%len(grids)]
+		if g.Pr == 1 || g.Pc == 1 {
+			return true // 2D algorithms need a true 2D grid
+		}
+		b := 1 + int(bRaw)%8192
+		c := CompareSUMMA(&net.Layers[li], b, g, m)
+		return c.Vol15D <= c.VolSUMMA_A+1e-9 && c.Vol15D <= c.VolSUMMA_C+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSUMMAApproaches15DWhenPrLarge: the paper notes stationary-A's cost
+// "approaches 1.5D when pr ≫ pc but never surpasses it".
+func TestSUMMAApproaches15DWhenPrLarge(t *testing.T) {
+	net := nn.AlexNet()
+	m := machine.CoriKNL()
+	fc7 := net.FCLayers()[1]
+	l := &net.Layers[fc7]
+	wide := CompareSUMMA(l, 4096, grid.Grid{Pr: 512, Pc: 2}, m)
+	tall := CompareSUMMA(l, 4096, grid.Grid{Pr: 2, Pc: 512}, m)
+	if wide.TwoDRatioA > tall.TwoDRatioA {
+		t.Fatalf("SUMMA-A/1.5D ratio should shrink as Pr grows: pr≫pc %g vs pc≫pr %g",
+			wide.TwoDRatioA, tall.TwoDRatioA)
+	}
+	if wide.TwoDRatioA < 1 {
+		t.Fatalf("SUMMA-A should never beat 1.5D, ratio %g", wide.TwoDRatioA)
+	}
+}
+
+// TestSUMMAWeightsBiggerFlag sanity-checks the |W_i| vs B·d_i regime flag
+// used in the Section 4 discussion.
+func TestSUMMAWeightsBiggerFlag(t *testing.T) {
+	net := nn.AlexNet()
+	m := machine.CoriKNL()
+	fc7 := &net.Layers[net.FCLayers()[1]] // 4096×4096: |W| = 16.7 M
+	small := CompareSUMMA(fc7, 64, grid.Grid{Pr: 4, Pc: 4}, m)
+	if !small.WeightsBigger {
+		t.Fatal("fc7 at B=64: |W| = 16.7M > B·d = 262k, flag should be true")
+	}
+	conv1 := &net.Layers[net.ConvLayers()[0]] // |W| = 34848, d = 290400
+	big := CompareSUMMA(conv1, 64, grid.Grid{Pr: 4, Pc: 4}, m)
+	if big.WeightsBigger {
+		t.Fatal("conv1 at B=64: B·d ≫ |W|, flag should be false")
+	}
+}

@@ -1,0 +1,72 @@
+package data
+
+import (
+	"testing"
+
+	"dnnparallel/internal/nn"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	s := nn.Shape{H: 4, W: 4, C: 2}
+	a := Synthetic(50, s, 5, 42)
+	b := Synthetic(50, s, 5, 42)
+	if a.X.MaxAbsDiff(b.X) != 0 {
+		t.Fatal("inputs differ across identical seeds")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+	}
+	c := Synthetic(50, s, 5, 43)
+	if a.X.MaxAbsDiff(c.X) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestLabelsInRangeAndNonTrivial(t *testing.T) {
+	d := Synthetic(300, nn.Shape{H: 6, W: 6, C: 3}, 7, 9)
+	seen := map[int]bool{}
+	for _, l := range d.Labels {
+		if l < 0 || l >= 7 {
+			t.Fatalf("label %d out of range", l)
+		}
+		seen[l] = true
+	}
+	// A linear teacher over Gaussian inputs should hit most classes.
+	if len(seen) < 4 {
+		t.Fatalf("only %d distinct labels in 300 samples", len(seen))
+	}
+}
+
+func TestBatchCyclesDeterministically(t *testing.T) {
+	d := Synthetic(10, nn.Shape{H: 2, W: 2, C: 1}, 3, 1)
+	x0, l0 := d.Batch(0, 4) // samples 0–3
+	x1, _ := d.Batch(1, 4)  // samples 4–7
+	x2, l2 := d.Batch(2, 4) // samples 8, 9, 0, 1 (wraps)
+	if x0.N != 4 || x1.N != 4 || x2.N != 4 {
+		t.Fatal("wrong batch sizes")
+	}
+	// Wrap-around: batch 2's third sample is sample 0.
+	if x2.At(2, 0, 0, 0) != d.X.At(0, 0, 0, 0) {
+		t.Fatal("wrap-around sample mismatch")
+	}
+	if l2[2] != d.Labels[0] || l0[0] != d.Labels[0] {
+		t.Fatal("wrap-around label mismatch")
+	}
+	// Re-request is identical.
+	y0, _ := d.Batch(0, 4)
+	if x0.MaxAbsDiff(y0) != 0 {
+		t.Fatal("Batch is not deterministic")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	d := Synthetic(5, nn.Shape{H: 2, W: 2, C: 1}, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized batch should panic")
+		}
+	}()
+	d.Batch(0, 6)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/data"
+	"dnnparallel/internal/parallel"
+	"dnnparallel/internal/report"
+)
+
+// Convergence demonstrates the Section 4 motivation for capping batch
+// parallelism: "larger minibatches beyond a certain point can hurt
+// accuracy" (Keskar et al., cited by the paper). With the epoch budget
+// fixed, larger B means fewer SGD updates; on the executable engines the
+// final training loss degrades monotonically — the effect that makes the
+// planner's MaxPc cap (and hence model/domain parallelism) practically
+// relevant even when P ≤ B.
+type ConvergenceRow struct {
+	B         int
+	Updates   int
+	FirstLoss float64
+	FinalLoss float64
+}
+
+// Convergence trains the reference net serially at several batch sizes
+// for the same number of epochs over the same data.
+func Convergence(epochs int, seed int64) ([]ConvergenceRow, error) {
+	spec := ReferenceConvNet()
+	const n = 128
+	ds := data.Synthetic(n, spec.Input, spec.Output().C, seed)
+	var out []ConvergenceRow
+	for _, b := range []int{4, 16, 64, 128} {
+		steps := epochs * n / b
+		cfg := parallel.Config{Spec: spec, Seed: seed + 1, LR: 0.05, Steps: steps, BatchSize: b}
+		res, err := parallel.RunSerial(cfg, ds)
+		if err != nil {
+			return nil, fmt.Errorf("B=%d: %w", b, err)
+		}
+		out = append(out, ConvergenceRow{
+			B: b, Updates: steps,
+			FirstLoss: res.Losses[0],
+			FinalLoss: res.Losses[len(res.Losses)-1],
+		})
+	}
+	return out, nil
+}
+
+// RenderConvergence prints the study.
+func RenderConvergence(rows []ConvergenceRow, epochs int) string {
+	tr := make([][]string, len(rows))
+	for i, r := range rows {
+		tr[i] = []string{
+			fmt.Sprintf("%d", r.B),
+			fmt.Sprintf("%d", r.Updates),
+			report.Fs(r.FirstLoss, 4),
+			report.Fs(r.FinalLoss, 4),
+		}
+	}
+	return fmt.Sprintf("Convergence vs batch size — %d epochs, equal data (Section 4 accuracy concern)\n", epochs) +
+		report.Table([]string{"B", "SGD updates", "first loss", "final loss"}, tr) +
+		"Fewer updates per epoch budget ⇒ worse final loss; capping Pc (planner MaxPc)\n" +
+		"trades this against the communication savings of batch parallelism.\n"
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/planner"
+)
+
+func TestTable1Renders(t *testing.T) {
+	s := Default()
+	out := s.Table1()
+	for _, want := range []string{"AlexNet", "α = 2µs", "6 GB/s", "N = 1200000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4CurveShape(t *testing.T) {
+	s := Default()
+	pts := s.Fig4()
+	if len(pts) != 12 { // 1 … 2048
+		t.Fatalf("Fig4 has %d points", len(pts))
+	}
+	best := pts[0]
+	for _, p := range pts {
+		if p.EpochSeconds < best.EpochSeconds {
+			best = p
+		}
+	}
+	if best.B != 256 {
+		t.Fatalf("best workload B = %d, want 256", best.B)
+	}
+	out := RenderFig4(pts)
+	if !strings.Contains(out, "best workload") {
+		t.Fatal("Fig4 rendering missing best-workload marker")
+	}
+}
+
+func TestEq5CrossoverTable(t *testing.T) {
+	s := Default()
+	rows := s.Eq5()
+	if len(rows) != 5 {
+		t.Fatalf("Eq5 should cover 5 conv layers, got %d", len(rows))
+	}
+	byName := map[string]Eq5Row{}
+	for _, r := range rows {
+		byName[r.Layer] = r
+	}
+	// The paper's example: conv4 (3×3 on 13×13×384) favours model
+	// parallelism for B ≤ ~12-13.
+	if c := byName["conv4"].CrossoverB; c < 12 || c > 14 {
+		t.Fatalf("conv4 crossover = %d", c)
+	}
+	// conv1 (11×11, giant activations) should essentially never favour
+	// model parallelism.
+	if byName["conv1"].CrossoverB > 1 {
+		t.Fatalf("conv1 crossover = %d, want ≤ 1", byName["conv1"].CrossoverB)
+	}
+	if out := RenderEq5(rows); !strings.Contains(out, "conv4") {
+		t.Fatal("Eq5 rendering incomplete")
+	}
+}
+
+func TestStrongScalingFig6And7(t *testing.T) {
+	s := Default()
+	fig6, err := s.StrongScaling(planner.Uniform, false, 2048, StandardFig6Ps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig7, err := s.StrongScaling(planner.ConvBatch, false, 2048, StandardFig6Ps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At P = 512 both modes beat pure batch; Fig. 7 beats Fig. 6.
+	last6, last7 := fig6[len(fig6)-1], fig7[len(fig7)-1]
+	if last6.TotalSpeedup <= 1 {
+		t.Fatalf("Fig. 6 P=512 total speedup = %g", last6.TotalSpeedup)
+	}
+	if last7.CommSpeedup <= last6.CommSpeedup {
+		t.Fatalf("Fig. 7 comm speedup (%g) should beat Fig. 6 (%g)",
+			last7.CommSpeedup, last6.CommSpeedup)
+	}
+	out := RenderScaling("fig6", fig6, true, s.DatasetN)
+	if !strings.Contains(out, "← best") {
+		t.Fatal("scaling rendering missing best marker")
+	}
+	if csv := ScalingCSV(fig6); !strings.Contains(csv, "P,B,Pr,Pc") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestOverlapFig8(t *testing.T) {
+	s := Default()
+	plain, err := s.StrongScaling(planner.ConvBatch, false, 2048, []int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := s.StrongScaling(planner.ConvBatch, true, 2048, []int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over[0].Best.IterSeconds > plain[0].Best.IterSeconds {
+		t.Fatal("overlap should not slow the best plan down")
+	}
+	if over[0].TotalSpeedup <= 1 {
+		t.Fatalf("Fig. 8 overlapped speedup = %g, want > 1 (paper: 2.0×)", over[0].TotalSpeedup)
+	}
+}
+
+func TestWeakScalingFig9(t *testing.T) {
+	s := Default()
+	res, err := s.WeakScaling(planner.Uniform, StandardFig9Pairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("weak scaling points = %d", len(res))
+	}
+	// The largest configuration should benefit from integration.
+	last := res[len(res)-1]
+	if last.CommSpeedup <= 1 {
+		t.Fatalf("P=%d B=%d comm speedup = %g", last.P, last.B, last.CommSpeedup)
+	}
+}
+
+func TestBeyondBatchFig10(t *testing.T) {
+	s := Default()
+	res, err := s.BeyondBatch(512, StandardFig10Ps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration time must keep decreasing past P = B = 512.
+	for i := 1; i < len(res); i++ {
+		if res[i].Best.IterSeconds >= res[i-1].Best.IterSeconds {
+			t.Fatalf("no scaling from P=%d to P=%d", res[i-1].P, res[i].P)
+		}
+	}
+	// At P = 4096 the only feasible slab split is Pr = 8 — the paper's
+	// "each image partitioned into 8 parts".
+	last := res[len(res)-1]
+	if last.Best.Grid.Pr != 8 {
+		t.Fatalf("P=4096 best grid %v, want Pr=8", last.Best.Grid)
+	}
+	// Pure batch must be infeasible beyond P = B.
+	for _, r := range res[1:] {
+		if r.PureBatch != nil && r.PureBatch.Feasible {
+			t.Fatalf("P=%d: pure batch should be infeasible", r.P)
+		}
+	}
+}
+
+func TestVerifyEnginesExactness(t *testing.T) {
+	reps, err := VerifyEngines(3, 8, 5, machine.CoriKNL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 6 {
+		t.Fatalf("engine reports = %d, want 6", len(reps))
+	}
+	for _, r := range reps {
+		if r.MaxWeightDev > 1e-9 {
+			t.Fatalf("%s deviates from serial by %g", r.Name, r.MaxWeightDev)
+		}
+		if r.WordsOnWire == 0 {
+			t.Fatalf("%s reported no communication", r.Name)
+		}
+	}
+	if out := RenderEngineReports(reps); !strings.Contains(out, "1.5D-fc") {
+		t.Fatal("engine report rendering incomplete")
+	}
+}

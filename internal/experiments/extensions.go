@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/costmodel"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/report"
+)
+
+// Extension experiments covering the paper's discussion sections that the
+// figures don't plot directly: interconnect sensitivity (the Limitations
+// paragraph), the Section 4 memory trade-off, and the Section 2.4
+// 1×1-convolution regime on a modern network.
+
+// SensitivityRow is one machine point of the α/β sweep.
+type SensitivityRow struct {
+	Name         string
+	AlphaSeconds float64
+	BandwidthGBs float64
+	BestGrid     string
+	TotalSpeedup float64
+	CommSpeedup  float64
+}
+
+// Sensitivity evaluates the P=512, B=2048 conv-batch configuration across
+// interconnects, quantifying the Limitations remark that topology effects
+// "can be approximated by adjusting the latency and bandwidth terms".
+func (s Setup) Sensitivity() ([]SensitivityRow, error) {
+	machines := []struct {
+		name  string
+		alpha float64
+		bwGBs float64
+	}{
+		{"Cori-KNL (Table 1)", 2e-6, 6},
+		{"commodity 10GigE", 5e-5, 1.25},
+		{"fat NVLink-class", 2e-7, 60},
+		{"high-lat same-bw", 2e-4, 6},
+		{"low-bw same-lat", 2e-6, 0.6},
+	}
+	var out []SensitivityRow
+	for _, mc := range machines {
+		o := s.options(planner.ConvBatch, false)
+		o.Machine = machine.Machine{Name: mc.name, Alpha: mc.alpha, Beta: 4 / (mc.bwGBs * 1e9), PeakFlops: s.Machine.PeakFlops}
+		res, err := planner.Optimize(s.Net, 2048, 512, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", mc.name, err)
+		}
+		total, comm := res.Speedup()
+		out = append(out, SensitivityRow{
+			Name: mc.name, AlphaSeconds: mc.alpha, BandwidthGBs: mc.bwGBs,
+			BestGrid: res.Best.Grid.String(), TotalSpeedup: total, CommSpeedup: comm,
+		})
+	}
+	return out, nil
+}
+
+// RenderSensitivity prints the machine sweep.
+func RenderSensitivity(rows []SensitivityRow) string {
+	tr := make([][]string, len(rows))
+	for i, r := range rows {
+		tr[i] = []string{
+			r.Name,
+			fmt.Sprintf("%.2gs", r.AlphaSeconds),
+			fmt.Sprintf("%g", r.BandwidthGBs),
+			r.BestGrid,
+			fmt.Sprintf("%.2fx", r.TotalSpeedup),
+			fmt.Sprintf("%.2fx", r.CommSpeedup),
+		}
+	}
+	return "Interconnect sensitivity — AlexNet, B=2048, P=512, conv-batch mode\n" +
+		"(the Limitations remark: topology ≈ adjusted α and β)\n" +
+		report.Table([]string{"Machine", "α", "1/β GB/s", "best grid", "total speedup", "comm speedup"}, tr)
+}
+
+// MemoryRow is one grid point of the Section 4 memory study.
+type MemoryRow struct {
+	Grid             string
+	WeightGB         float64
+	ActivationGB     float64
+	TotalGB          float64
+	TwoDLowerBoundGB float64
+}
+
+// MemoryStudy evaluates the per-process footprint across the grids of the
+// paper's headline configuration.
+func (s Setup) MemoryStudy(B, P int) []MemoryRow {
+	var out []MemoryRow
+	bound := costmodel.Memory2DLowerBound(s.Net, B, P) * machine.WordBytes / 1e9
+	for _, g := range grid.Factorizations(P) {
+		m := costmodel.Memory(s.Net, B, g, nil)
+		out = append(out, MemoryRow{
+			Grid:             g.String(),
+			WeightGB:         (m.WeightWords + m.GradientWords) * machine.WordBytes / 1e9,
+			ActivationGB:     m.ActivationWords * machine.WordBytes / 1e9,
+			TotalGB:          m.TotalBytes() / 1e9,
+			TwoDLowerBoundGB: bound,
+		})
+	}
+	return out
+}
+
+// RenderMemory prints the memory study.
+func RenderMemory(rows []MemoryRow, B, P int) string {
+	tr := make([][]string, len(rows))
+	for i, r := range rows {
+		tr[i] = []string{
+			r.Grid,
+			report.Fs(r.WeightGB, 3), report.Fs(r.ActivationGB, 3), report.Fs(r.TotalGB, 3),
+			report.Fs(r.TwoDLowerBoundGB, 3),
+		}
+	}
+	return fmt.Sprintf("Per-process memory vs grid — AlexNet, B=%d, P=%d (Section 4 trade-off)\n", B, P) +
+		report.Table([]string{"Grid", "weights+grads GB", "activations GB", "total GB", "2D lower bound GB"}, tr)
+}
+
+// OneByOneStudyRow summarizes the planner's per-layer choices on a
+// 1×1-dominated modern network.
+type OneByOneStudyRow struct {
+	Network      string
+	P, B         int
+	BestGrid     string
+	DomainLayers int
+	ModelLayers  int
+	BatchLayers  int
+	ZeroHalo1x1  int
+}
+
+// OneByOneStudy plans ResNet50Proxy in the beyond-batch regime and counts
+// the strategies Auto assigns — the Section 2.4 "1×1 convolutions are
+// communication-free under domain parallelism" regime.
+func (s Setup) OneByOneStudy(B, P int) (OneByOneStudyRow, error) {
+	net := nn.ResNet50Proxy()
+	o := s.options(planner.Auto, false)
+	res, err := planner.Optimize(net, B, P, o)
+	if err != nil {
+		return OneByOneStudyRow{}, err
+	}
+	row := OneByOneStudyRow{Network: net.Name, P: P, B: B, BestGrid: res.Best.Grid.String()}
+	for li, strat := range res.Best.Assignment {
+		l := &net.Layers[li]
+		switch strat {
+		case costmodel.Domain:
+			row.DomainLayers++
+			if l.Kind == nn.Conv && l.KH == 1 {
+				row.ZeroHalo1x1++
+			}
+		case costmodel.Model:
+			row.ModelLayers++
+		case costmodel.BatchOnly:
+			row.BatchLayers++
+		}
+	}
+	return row, nil
+}
+
+// RenderOneByOne prints the study.
+func RenderOneByOne(r OneByOneStudyRow) string {
+	return fmt.Sprintf(
+		"1×1-conv regime — %s, B=%d, P=%d (beyond-batch, auto strategies)\n"+
+			"  best grid:            %s\n"+
+			"  domain-parallel layers: %d (of which %d are 1×1 convs with ZERO halo traffic)\n"+
+			"  model-parallel layers:  %d\n"+
+			"  batch-only layers:      %d\n",
+		r.Network, r.B, r.P, r.BestGrid, r.DomainLayers, r.ZeroHalo1x1, r.ModelLayers, r.BatchLayers)
+}

@@ -1,0 +1,74 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered subgroup of world ranks. Group index
+// (the "comm rank") is the position in the sorted group slice, matching
+// the convention of grid.RowGroup/ColGroup.
+type Comm struct {
+	p     *Proc
+	group []int // sorted world ranks
+	rank  int   // my index within group
+}
+
+// WorldComm returns the communicator spanning all ranks.
+func (p *Proc) WorldComm() *Comm {
+	g := make([]int, p.Size())
+	for i := range g {
+		g[i] = i
+	}
+	return &Comm{p: p, group: g, rank: p.rank}
+}
+
+// CommFrom builds a communicator from a group of world ranks, which must
+// contain the calling rank. The group is sorted; duplicates are invalid.
+func (p *Proc) CommFrom(group []int) *Comm {
+	g := make([]int, len(group))
+	copy(g, group)
+	sort.Ints(g)
+	me := -1
+	for i, r := range g {
+		if i > 0 && g[i-1] == r {
+			panic(fmt.Sprintf("mpi: duplicate rank %d in group", r))
+		}
+		if r < 0 || r >= p.Size() {
+			panic(fmt.Sprintf("mpi: rank %d outside world of %d", r, p.Size()))
+		}
+		if r == p.rank {
+			me = i
+		}
+	}
+	if me < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not in group %v", p.rank, group))
+	}
+	return &Comm{p: p, group: g, rank: me}
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Proc returns the underlying process handle.
+func (c *Comm) Proc() *Proc { return c.p }
+
+// world translates a comm rank to a world rank.
+func (c *Comm) world(r int) int { return c.group[r] }
+
+// Send sends to comm rank dst (blocking-send semantics).
+func (c *Comm) Send(dst, tag int, data []float64) { c.p.Send(c.world(dst), tag, data) }
+
+// ISend sends to comm rank dst without blocking on the wire time.
+func (c *Comm) ISend(dst, tag int, data []float64) { c.p.ISend(c.world(dst), tag, data) }
+
+// Recv receives from comm rank src.
+func (c *Comm) Recv(src, tag int) []float64 { return c.p.Recv(c.world(src), tag) }
+
+// SendRecv exchanges with partners dst/src by comm rank.
+func (c *Comm) SendRecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	return c.p.SendRecv(c.world(dst), sendTag, data, c.world(src), recvTag)
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/tensor"
+)
+
+// Optimizer applies a first-order update to a weight list given its
+// gradients. The paper's analysis covers any first-order method
+// (Section 2: "our results generalize to other first-order methods even
+// though we will describe it using SGD"); the distributed engines exploit
+// the fact that these updates are element-wise: applying them per weight
+// shard after the gradient reduction is exactly equivalent to applying
+// them serially, so gradient-exactness extends to the whole trajectory.
+//
+// An Optimizer instance carries state (e.g. momentum velocity) indexed by
+// position in the weight list; use one instance per weight list.
+type Optimizer interface {
+	// Step updates weights in place using grads (parallel lists).
+	Step(weights, grads []*tensor.Matrix)
+}
+
+// OptimizerFactory builds a fresh optimizer instance. Distributed engines
+// call it once per locally-owned weight list (states are per-matrix, so
+// sharding the list shards the state consistently).
+type OptimizerFactory func() Optimizer
+
+// SGD is plain minibatch SGD: w ← w − η·∆w (Eq. 1).
+type SGD struct {
+	LR float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(weights, grads []*tensor.Matrix) {
+	mustParallel(weights, grads)
+	for i, g := range grads {
+		weights[i].AXPY(-s.LR, g)
+	}
+}
+
+// Momentum is SGD with (heavy-ball) momentum:
+// v ← µ·v − η·∆w; w ← w + v.
+type Momentum struct {
+	LR, Mu float64
+	vel    []*tensor.Matrix
+}
+
+// Step implements Optimizer.
+func (m *Momentum) Step(weights, grads []*tensor.Matrix) {
+	mustParallel(weights, grads)
+	if m.vel == nil {
+		m.vel = zerosLike(weights)
+	}
+	for i, g := range grads {
+		v := m.vel[i]
+		v.ScaleInPlace(m.Mu)
+		v.AXPY(-m.LR, g)
+		weights[i].AddInPlace(v)
+	}
+}
+
+// Nesterov is SGD with Nesterov momentum in the standard implementation
+// form: v ← µ·v − η·∆w; w ← w + µ·v − η·∆w.
+type Nesterov struct {
+	LR, Mu float64
+	vel    []*tensor.Matrix
+}
+
+// Step implements Optimizer.
+func (n *Nesterov) Step(weights, grads []*tensor.Matrix) {
+	mustParallel(weights, grads)
+	if n.vel == nil {
+		n.vel = zerosLike(weights)
+	}
+	for i, g := range grads {
+		v := n.vel[i]
+		v.ScaleInPlace(n.Mu)
+		v.AXPY(-n.LR, g)
+		weights[i].AXPY(n.Mu, v)
+		weights[i].AXPY(-n.LR, g)
+	}
+}
+
+// Apply runs one optimizer step on the model's weights.
+func (m *Model) Apply(opt Optimizer, grads []*tensor.Matrix) {
+	opt.Step(m.Weights, grads)
+}
+
+func zerosLike(ws []*tensor.Matrix) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(ws))
+	for i, w := range ws {
+		out[i] = tensor.New(w.Rows, w.Cols)
+	}
+	return out
+}
+
+func mustParallel(weights, grads []*tensor.Matrix) {
+	if len(weights) != len(grads) {
+		panic(fmt.Sprintf("nn: optimizer got %d weights, %d grads", len(weights), len(grads)))
+	}
+}

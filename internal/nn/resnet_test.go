@@ -1,0 +1,60 @@
+package nn
+
+import "testing"
+
+func TestResNet50ProxyShape(t *testing.T) {
+	n := ResNet50Proxy()
+	if got := n.Output(); got != (Shape{1, 1, 1000}) {
+		t.Fatalf("output = %v", got)
+	}
+	// ResNet-50's conv+fc weights (without skips' downsample projections
+	// and batch-norm) are ≈ 23–26 M; pin the proxy inside that band.
+	if w := n.TotalWeights(); w < 20e6 || w > 28e6 {
+		t.Fatalf("proxy weights = %.1fM, want ≈ 23–26M", float64(w)/1e6)
+	}
+	// 16 bottlenecks × 3 convs + conv1 = 49 conv layers.
+	if c := len(n.ConvLayers()); c != 49 {
+		t.Fatalf("conv layers = %d, want 49", c)
+	}
+}
+
+// TestResNet50ProxyIsOneByOneDominated verifies the Section 2.4 premise:
+// 1×1 convolutions are "a dominant portion of the network" — 32 of the 49
+// conv layers (65% by count; in a bottleneck the two 1×1 convs carry
+// 8·mid² weights vs the 3×3's 9·mid², so just under half by weight).
+func TestResNet50ProxyIsOneByOneDominated(t *testing.T) {
+	n := ResNet50Proxy()
+	var oneByOne, total int
+	var count1x1 int
+	for _, li := range n.ConvLayers() {
+		l := &n.Layers[li]
+		total += l.Weights()
+		if l.KH == 1 {
+			oneByOne += l.Weights()
+			count1x1++
+		}
+	}
+	if count1x1 != 32 {
+		t.Fatalf("1×1 convs = %d, want 32", count1x1)
+	}
+	if share := float64(oneByOne) / float64(total); share < 0.4 || share > 0.5 {
+		t.Fatalf("1×1 weight share = %.2f, want 0.4–0.5", share)
+	}
+}
+
+// TestResNet50ProxyStageShapes pins the canonical stage resolutions.
+func TestResNet50ProxyStageShapes(t *testing.T) {
+	n := ResNet50Proxy()
+	want := map[string]Shape{
+		"res2_0_c": {56, 56, 256},
+		"res3_0_c": {28, 28, 512},
+		"res4_0_c": {14, 14, 1024},
+		"res5_0_c": {7, 7, 2048},
+	}
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		if w, ok := want[l.Name]; ok && l.Out != w {
+			t.Errorf("%s out = %v, want %v", l.Name, l.Out, w)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package parallel
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/data"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/mpi"
+	"dnnparallel/internal/nn"
+)
+
+// RunBatch trains with pure batch parallelism (Fig. 2): every rank holds a
+// full model replica and 1/P of each minibatch; the only communication is
+// one gradient all-reduce per step (Eq. 4). Replicas stay bit-identical
+// because every rank applies the same reduced gradient.
+func RunBatch(w *mpi.World, cfg Config, ds *data.Dataset) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if w.Size() > cfg.BatchSize {
+		return Result{}, fmt.Errorf("parallel: batch parallelism needs P ≤ B, got P=%d B=%d", w.Size(), cfg.BatchSize)
+	}
+	col := &collector{}
+	stats := w.Run(func(p *mpi.Proc) {
+		world := p.WorldComm()
+		model := nn.NewModel(cfg.Spec, cfg.Seed)
+		opt := cfg.optimizer()
+		shard := grid.BlockShard(cfg.BatchSize, p.Size(), p.Rank())
+		losses := make([]float64, 0, cfg.Steps)
+		for s := 0; s < cfg.Steps; s++ {
+			x, labels := ds.Batch(s, cfg.BatchSize)
+			lx := x.SliceSamples(shard.Lo, shard.Hi)
+			ll := labels[shard.Lo:shard.Hi]
+			loss, grads := model.ForwardBackward(lx, ll)
+			// Local grads are averaged over the shard; reweight to the
+			// global 1/B average before the sum-reduce.
+			flat := flattenMats(grads, float64(shard.Len())/float64(cfg.BatchSize))
+			reduced := world.AllReduceSum(flat)
+			model.Apply(opt, unflattenLike(model.Weights, reduced))
+			losses = append(losses, globalLoss(world, loss, shard.Len(), cfg.BatchSize))
+		}
+		if p.Rank() == 0 {
+			col.report(model.CloneWeights(), losses)
+		}
+	})
+	if col.err != nil {
+		return Result{}, col.err
+	}
+	return Result{Weights: col.weights, Losses: col.losses, Stats: stats}, nil
+}

@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/data"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/mpi"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/tensor"
+)
+
+// fc15D executes the fully-connected suffix of a network with the paper's
+// 1.5D algorithm (Fig. 5) on a Pr × Pc grid: each process holds 1/Pr of
+// every FC weight matrix (replicated Pc times) and works on the batch
+// shard of its column (replicated Pr times). Forward all-gathers the
+// local activation panel over the column group (Pr ranks); backward
+// all-reduces ∆X over the column group and ∆W over the row group
+// (Pc ranks) — exactly the three Eq. 8 terms.
+type fc15D struct {
+	spec    *nn.Network
+	startLi int // first FC layer
+	lastW   int
+	rowComm *mpi.Comm // Pc ranks sharing my weight shard
+	colComm *mpi.Comm // Pr ranks sharing my batch shard
+	pr      int
+	r       int
+
+	shards []*tensor.Matrix
+	slot   map[int]int
+	matIn  []*tensor.Matrix
+	matPre []*tensor.Matrix
+}
+
+func newFC15D(spec *nn.Network, ref *nn.Model, rowComm, colComm *mpi.Comm) *fc15D {
+	f := &fc15D{
+		spec: spec, startLi: spatialPrefixEnd(spec),
+		rowComm: rowComm, colComm: colComm,
+		pr: colComm.Size(), r: colComm.Rank(),
+		slot:   map[int]int{},
+		matIn:  make([]*tensor.Matrix, len(spec.Layers)),
+		matPre: make([]*tensor.Matrix, len(spec.Layers)),
+	}
+	for _, li := range spec.WeightedLayers() {
+		f.lastW = li
+		if li < f.startLi {
+			continue
+		}
+		full := ref.Weights[ref.WeightSlot(li)]
+		f.slot[li] = len(f.shards)
+		f.shards = append(f.shards, rowShard(full, f.pr, f.r))
+	}
+	return f
+}
+
+// Forward maps the local batch panel (d × B/Pc, full rows) to logits.
+func (f *fc15D) Forward(cur *tensor.Matrix) *tensor.Matrix {
+	for li := f.startLi; li < len(f.spec.Layers); li++ {
+		l := &f.spec.Layers[li]
+		switch l.Kind {
+		case nn.FC:
+			f.matIn[li] = cur
+			local := nn.DenseForward(f.shards[f.slot[li]], cur)
+			pre := gatherMatrixRows(f.colComm, local, l.OutN) // Eq. 8 all-gather over Pr
+			f.matPre[li] = pre
+			if li != f.lastW {
+				cur = nn.ReLUForward(pre)
+			} else {
+				cur = pre
+			}
+		case nn.Dropout:
+			// identity
+		default:
+			panic(fmt.Sprintf("parallel: fc15D met %v layer %s", l.Kind, l.Name))
+		}
+	}
+	return cur
+}
+
+// Backward consumes the globally-scaled logits gradient, all-reduces each
+// ∆W over the row group, updates nothing, and returns (per-slot grads,
+// the ∆X of the first FC layer's input — nil when the FC stack starts the
+// network, mirroring the serial model's Eq. 3 i ≥ 2 skip).
+func (f *fc15D) Backward(dlogits *tensor.Matrix) ([]*tensor.Matrix, *tensor.Matrix) {
+	grads := make([]*tensor.Matrix, len(f.shards))
+	d := dlogits
+	for li := len(f.spec.Layers) - 1; li >= f.startLi; li-- {
+		l := &f.spec.Layers[li]
+		switch l.Kind {
+		case nn.Dropout:
+			continue
+		case nn.FC:
+		}
+		if li != f.lastW {
+			d = nn.ReLUBackward(d, f.matPre[li])
+		}
+		dyShard := rowShard(d, f.pr, f.r)
+		partialW := nn.DenseGradWeights(dyShard, f.matIn[li])
+		grads[f.slot[li]] = allReduceMat(f.rowComm, partialW) // Eq. 8 ∆W all-reduce over Pc
+		if li == 0 {
+			return grads, nil
+		}
+		partialX := nn.DenseBackwardInput(f.shards[f.slot[li]], dyShard)
+		d = allReduceMat(f.colComm, partialX) // Eq. 8 ∆X all-reduce over Pr
+		if li == f.startLi {
+			return grads, d
+		}
+	}
+	return grads, nil
+}
+
+// Apply updates the local weight shards with the given optimizer (state
+// is per-matrix, so shard-local optimizer state matches serial exactly).
+func (f *fc15D) Apply(opt nn.Optimizer, grads []*tensor.Matrix) {
+	opt.Step(f.shards, grads)
+}
+
+// Assemble all-gathers the shards into full weight matrices (one per FC
+// layer, in slot order). Every rank of the column group must call it.
+func (f *fc15D) Assemble() []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = gatherMatrixRows(f.colComm, s, s.Rows*f.pr)
+	}
+	return out
+}
+
+// RunIntegrated15D trains a fully-connected network with the 1.5D
+// integrated model+batch algorithm on grid g (Fig. 5 / Eq. 8). With
+// g = 1×P it degenerates to pure batch parallelism and with g = P×1 to
+// pure model parallelism — the spectrum the paper emphasizes.
+func RunIntegrated15D(w *mpi.World, cfg Config, ds *data.Dataset, g grid.Grid) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if g.P() != w.Size() {
+		return Result{}, fmt.Errorf("parallel: grid %v needs %d ranks, world has %d", g, g.P(), w.Size())
+	}
+	if cfg.BatchSize%g.Pc != 0 {
+		return Result{}, fmt.Errorf("parallel: batch %d not divisible by Pc=%d", cfg.BatchSize, g.Pc)
+	}
+	if spatialPrefixEnd(cfg.Spec) != 0 {
+		return Result{}, fmt.Errorf("parallel: RunIntegrated15D requires a fully-connected network; use RunFullIntegrated for conv fronts")
+	}
+	for _, li := range cfg.Spec.WeightedLayers() {
+		if l := &cfg.Spec.Layers[li]; l.OutN%g.Pr != 0 {
+			return Result{}, fmt.Errorf("parallel: fc %s OutN=%d not divisible by Pr=%d", l.Name, l.OutN, g.Pr)
+		}
+	}
+	col := &collector{}
+	stats := w.Run(func(proc *mpi.Proc) {
+		r, c := g.Coords(proc.Rank())
+		rowComm := proc.CommFrom(g.RowGroup(r))
+		colComm := proc.CommFrom(g.ColGroup(c))
+		ref := nn.NewModel(cfg.Spec, cfg.Seed)
+		eng := newFC15D(cfg.Spec, ref, rowComm, colComm)
+		opt := cfg.optimizer()
+		bShard := grid.BlockShard(cfg.BatchSize, g.Pc, c)
+		losses := make([]float64, 0, cfg.Steps)
+		for s := 0; s < cfg.Steps; s++ {
+			x, labels := ds.Batch(s, cfg.BatchSize)
+			lx := x.SliceSamples(bShard.Lo, bShard.Hi).AsMatrix()
+			ll := labels[bShard.Lo:bShard.Hi]
+			logits := eng.Forward(lx)
+			loss, d := nn.SoftmaxCrossEntropy(logits, ll)
+			// Rescale the 1/localB mean gradient to the global 1/B mean.
+			d.ScaleInPlace(float64(bShard.Len()) / float64(cfg.BatchSize))
+			grads, _ := eng.Backward(d)
+			eng.Apply(opt, grads)
+			losses = append(losses, globalLoss(rowComm, loss, bShard.Len(), cfg.BatchSize))
+		}
+		ws := eng.Assemble()
+		if proc.Rank() == 0 {
+			col.report(ws, losses)
+		}
+	})
+	if col.err != nil {
+		return Result{}, col.err
+	}
+	return Result{Weights: col.weights, Losses: col.losses, Stats: stats}, nil
+}

@@ -1,0 +1,142 @@
+package planner
+
+import (
+	"testing"
+
+	"dnnparallel/internal/costmodel"
+	"dnnparallel/internal/nn"
+)
+
+// TestMemoryLimitPrunesGrids: a tight per-process memory budget rules out
+// the model-replicating pure-batch end and forces the planner toward
+// larger Pr — the Section 4 memory discussion as a constraint.
+func TestMemoryLimitPrunesGrids(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	unconstrained, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure batch holds the full 62.4M weights ×2 (grad) plus activations.
+	// Cap below that so 1×512 becomes infeasible.
+	pureBatchMem := costmodel.Memory(net, 2048, unconstrained.All[0].Grid, nil).TotalWords()
+	o.MemoryLimitWords = pureBatchMem * 0.5
+	res, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.All {
+		if p.Grid.IsPureBatch() && p.Feasible {
+			t.Fatal("pure batch should be pruned by the memory limit")
+		}
+	}
+	if res.Best.MemoryWords > o.MemoryLimitWords {
+		t.Fatalf("best plan memory %g exceeds limit %g", res.Best.MemoryWords, o.MemoryLimitWords)
+	}
+	if res.Best.Grid.Pr < 2 {
+		t.Fatalf("memory pressure should force Pr ≥ 2, got %v", res.Best.Grid)
+	}
+}
+
+// TestMemoryLimitInfeasibleEverywhere: an impossible budget errors out.
+func TestMemoryLimitInfeasibleEverywhere(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	o.MemoryLimitWords = 1
+	if _, err := Optimize(net, 2048, 512, o); err == nil {
+		t.Fatal("1-word memory limit should make every grid infeasible")
+	}
+}
+
+// TestMemoryReportedOnPlans: every feasible plan carries its footprint.
+func TestMemoryReportedOnPlans(t *testing.T) {
+	net := nn.AlexNet()
+	res, err := Optimize(net, 1024, 64, opts(Uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.All {
+		if p.Feasible && p.MemoryWords <= 0 {
+			t.Fatalf("plan %v missing memory estimate", p.Grid)
+		}
+	}
+}
+
+// TestRedistributionAsymptoticallyAmortized quantifies the paper's Eq. 6
+// claim at the planner level: adding the redistribution cost to the
+// Fig. 7 configuration perturbs the best iteration time by only a small
+// fraction and never changes who wins against pure batch.
+func TestRedistributionAsymptoticallyAmortized(t *testing.T) {
+	net := nn.AlexNet()
+	base, err := Optimize(net, 2048, 512, opts(ConvBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(ConvBatch)
+	o.AddRedistribution = true
+	with, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Best.IterSeconds < base.Best.IterSeconds {
+		t.Fatal("adding a cost cannot speed things up")
+	}
+	overhead := with.Best.IterSeconds/base.Best.IterSeconds - 1
+	if overhead > 0.35 {
+		t.Fatalf("redistribution overhead %.0f%% is not amortized", overhead*100)
+	}
+	total, _ := with.Speedup()
+	if total <= 1 {
+		t.Fatalf("integrated should still beat pure batch with redistribution, got %gx", total)
+	}
+}
+
+// TestRedistributionOnlyAtBoundaries: a uniform assignment has no
+// strategy changes, hence zero redistribution cost.
+func TestRedistributionOnlyAtBoundaries(t *testing.T) {
+	net := nn.AlexNet()
+	base, err := Optimize(net, 2048, 256, opts(Uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(Uniform)
+	o.AddRedistribution = true
+	with, err := Optimize(net, 2048, 256, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.All {
+		if base.All[i].Feasible && base.All[i].CommSeconds != with.All[i].CommSeconds {
+			t.Fatalf("grid %v: uniform assignment should have zero redistribution", base.All[i].Grid)
+		}
+	}
+}
+
+// TestMaxPcCapForcesModelParallelism: the Section 4 accuracy guidance —
+// capping batch parallelism makes the planner supply the remaining
+// parallelism along Pr.
+func TestMaxPcCapForcesModelParallelism(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(ConvBatch)
+	o.MaxPc = 32
+	res, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Grid.Pc > 32 {
+		t.Fatalf("cap violated: best grid %v", res.Best.Grid)
+	}
+	if res.Best.Grid.Pr < 16 {
+		t.Fatalf("capped Pc should force Pr ≥ 16, got %v", res.Best.Grid)
+	}
+	for _, p := range res.All {
+		if p.Feasible && p.Grid.Pc > 32 {
+			t.Fatalf("grid %v should be infeasible under the cap", p.Grid)
+		}
+	}
+	// An impossible cap (Pc must be ≥ P/minH for conv-domain etc.) errors.
+	o.MaxPc = 0
+	if _, err := Optimize(net, 2048, 512, o); err != nil {
+		t.Fatalf("cap disabled should behave normally: %v", err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package planner turns the paper's analysis into a decision procedure:
+// given a network, a global minibatch size B, a process count P and a
+// machine, it searches the Pr × Pc factorizations and per-layer strategy
+// assignments of Eq. 9 and returns the configuration minimizing predicted
+// iteration time. This is the "automatically selects the best
+// configuration" capability claimed in Section 2.3, including the
+// beyond-batch regime P > B of Section 2.4 where only domain/model
+// parallelism can supply the extra processes.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dnnparallel/internal/collective"
+	"dnnparallel/internal/compute"
+	"dnnparallel/internal/costmodel"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+)
+
+// Mode selects how convolutional layers are treated during the search.
+type Mode int
+
+const (
+	// Uniform applies the same Pr × Pc model+batch grid to every layer
+	// (the Fig. 6 setting).
+	Uniform Mode = iota
+	// ConvBatch forces convolutional layers to pure batch parallelism
+	// (Pr = 1 for conv; the Fig. 7 setting). Requires P ≤ B.
+	ConvBatch
+	// ConvDomain uses domain parallelism on convolutional layers and
+	// 1.5D model+batch on FC layers (the Fig. 10 setting).
+	ConvDomain
+	// Auto picks, per convolutional layer, the cheapest of model /
+	// domain / pure-batch given the grid (pure batch only when P ≤ B).
+	Auto
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Uniform:
+		return "uniform"
+	case ConvBatch:
+		return "conv-batch"
+	case ConvDomain:
+		return "conv-domain"
+	case Auto:
+		return "auto"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures a planning run. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	Machine machine.Machine
+	Compute compute.Model
+	Mode    Mode
+	// Overlap applies the Fig. 8 perfect comm/backprop overlap.
+	Overlap bool
+	// DatasetN, when > 0, also fills the per-epoch time (×⌈N/B⌉).
+	DatasetN int
+	// MemoryLimitWords, when > 0, rejects grids whose per-process
+	// footprint (costmodel.Memory) exceeds the limit — the Section 4
+	// remark that "memory consumption optimality might be a legitimate
+	// concern depending on the platform and the DNN model size".
+	MemoryLimitWords float64
+	// AddRedistribution adds the Eq. 6 activation-redistribution cost at
+	// every strategy boundary (e.g. the conv→FC transition of Figs. 7 and
+	// 10). The paper shows this cost is asymptotically amortized and
+	// omits it from the figures; enabling it quantifies the claim.
+	AddRedistribution bool
+	// MaxPc, when > 0, caps the batch-parallel grid dimension — the
+	// Section 4 guidance "if the user decides to limit the maximum
+	// allowable batch parallelism in light of accuracy concerns related
+	// to large batch sizes": remaining processes must come from the Pr
+	// (model/domain) dimension.
+	MaxPc int
+}
+
+// DefaultOptions returns the paper's Table 1 configuration.
+func DefaultOptions() Options {
+	return Options{
+		Machine:  machine.CoriKNL(),
+		Compute:  compute.KNLCaffe(),
+		Mode:     Auto,
+		DatasetN: 1200000,
+	}
+}
+
+// Plan is one evaluated configuration.
+type Plan struct {
+	Grid       grid.Grid
+	Mode       Mode
+	Assignment costmodel.Assignment
+	Breakdown  *costmodel.Breakdown
+
+	CommSeconds  float64 // per-iteration communication
+	CompSeconds  float64 // per-iteration computation
+	IterSeconds  float64 // combined (with overlap if requested)
+	EpochSeconds float64 // IterSeconds × ⌈N/B⌉ (0 when DatasetN unset)
+	MemoryWords  float64 // per-process footprint (costmodel.Memory)
+
+	Feasible bool
+	Reason   string // why infeasible, when Feasible is false
+}
+
+// String renders a one-line summary.
+func (p Plan) String() string {
+	if !p.Feasible {
+		return fmt.Sprintf("grid %v: infeasible (%s)", p.Grid, p.Reason)
+	}
+	return fmt.Sprintf("grid %v: iter=%.4gs (comm %.4g + comp %.4g)",
+		p.Grid, p.IterSeconds, p.CommSeconds, p.CompSeconds)
+}
+
+// feasible reports whether grid g can run batch B of net under mode, and
+// if not, why. The constraints:
+//   - Pc ≤ B: the batch dimension cannot be split thinner than one sample
+//     (the strong-scaling limit of pure batch parallelism, Section 2.4);
+//   - ConvBatch needs P ≤ B (conv layers run pure batch over all P);
+//   - Domain needs Pr ≤ the spatial height of every domain layer's input
+//     (a sample cannot be split into more slabs than it has rows).
+func feasible(net *nn.Network, B int, g grid.Grid, mode Mode) (bool, string) {
+	if g.Pc > B {
+		return false, fmt.Sprintf("Pc=%d exceeds batch size %d", g.Pc, B)
+	}
+	if mode == ConvBatch && g.P() > B {
+		return false, fmt.Sprintf("conv-batch needs P ≤ B, got P=%d > B=%d", g.P(), B)
+	}
+	if mode == ConvDomain && g.Pr > 1 {
+		minH := math.MaxInt
+		for _, li := range net.ConvLayers() {
+			if h := net.Layers[li].In.H; h < minH {
+				minH = h
+			}
+		}
+		if g.Pr > minH {
+			return false, fmt.Sprintf("Pr=%d exceeds smallest conv input height %d", g.Pr, minH)
+		}
+	}
+	return true, ""
+}
+
+// assignmentFor builds the Eq. 9 layer assignment for a grid under a mode.
+func assignmentFor(net *nn.Network, B int, g grid.Grid, mode Mode, m machine.Machine) costmodel.Assignment {
+	switch mode {
+	case Uniform:
+		return costmodel.UniformAssignment(net, costmodel.Model)
+	case ConvBatch:
+		return costmodel.ConvAssignment(net, costmodel.BatchOnly, costmodel.Model)
+	case ConvDomain:
+		return costmodel.ConvAssignment(net, costmodel.Domain, costmodel.Model)
+	case Auto:
+		return autoAssignment(net, B, g, m)
+	}
+	return nil
+}
+
+// autoAssignment chooses, per conv layer, the cheapest strategy available
+// on grid g by evaluating the per-layer Eq. 9 terms directly; FC layers
+// always use Model (domain halos there cost the whole activation panel).
+func autoAssignment(net *nn.Network, B int, g grid.Grid, m machine.Machine) costmodel.Assignment {
+	a := make(costmodel.Assignment)
+	for _, li := range net.WeightedLayers() {
+		l := &net.Layers[li]
+		if l.Kind != nn.Conv {
+			a[li] = costmodel.Model
+			continue
+		}
+		best, bestCost := costmodel.Model, singleLayerCost(net, li, B, g, costmodel.Model, m)
+		if g.Pr <= l.In.H {
+			if c := singleLayerCost(net, li, B, g, costmodel.Domain, m); c < bestCost {
+				best, bestCost = costmodel.Domain, c
+			}
+		}
+		if g.P() <= B {
+			if c := singleLayerCost(net, li, B, g, costmodel.BatchOnly, m); c < bestCost {
+				best, bestCost = costmodel.BatchOnly, c
+			}
+		}
+		a[li] = best
+	}
+	return a
+}
+
+// singleLayerCost evaluates one layer under one strategy on grid g by
+// running Eq. 9 for a network view containing just that layer's terms.
+func singleLayerCost(net *nn.Network, li, B int, g grid.Grid, s costmodel.Strategy, m machine.Machine) float64 {
+	assign := costmodel.Assignment{li: s}
+	full := costmodel.FullIntegrated(net, B, g, assign, m)
+	for _, lc := range full.Layers {
+		if lc.Index == li {
+			return lc.Total().Total()
+		}
+	}
+	return math.Inf(1)
+}
+
+// Evaluate prices one (grid, mode) configuration.
+func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
+	p := Plan{Grid: g, Mode: opts.Mode}
+	ok, reason := feasible(net, B, g, opts.Mode)
+	if !ok {
+		p.Reason = reason
+		return p
+	}
+	if opts.MaxPc > 0 && g.Pc > opts.MaxPc {
+		p.Reason = fmt.Sprintf("Pc=%d exceeds the batch-parallelism cap %d", g.Pc, opts.MaxPc)
+		return p
+	}
+	p.Assignment = assignmentFor(net, B, g, opts.Mode, opts.Machine)
+	p.MemoryWords = costmodel.Memory(net, B, g, p.Assignment).TotalWords()
+	if opts.MemoryLimitWords > 0 && p.MemoryWords > opts.MemoryLimitWords {
+		p.Reason = fmt.Sprintf("per-process memory %.3g words exceeds limit %.3g",
+			p.MemoryWords, opts.MemoryLimitWords)
+		return p
+	}
+	p.Feasible = true
+	p.Breakdown = costmodel.FullIntegrated(net, B, g, p.Assignment, opts.Machine)
+	p.CommSeconds = p.Breakdown.TotalSeconds()
+	p.CompSeconds = opts.Compute.GridIterTime(net, B, g)
+	p.IterSeconds = costmodel.IterationSeconds(p.Breakdown, p.CompSeconds, opts.Overlap)
+	if opts.AddRedistribution {
+		// The redistribution all-gather blocks the next layer's compute,
+		// so it is never overlapped.
+		r := redistributionSeconds(net, B, g, p.Assignment, opts.Machine)
+		p.CommSeconds += r
+		p.IterSeconds += r
+	}
+	if opts.DatasetN > 0 {
+		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
+	}
+	return p
+}
+
+// redistributionSeconds prices the Eq. 6 redistribution at every layer
+// boundary where the strategy changes: the activations must be re-laid-out
+// from the upstream distribution into the replicated panels the
+// model-parallel layers consume. On a Pr × Pc grid this is a column-group
+// all-gather of the local activation panel — α⌈log Pr⌉ +
+// β·(B/Pc)·(Pr−1)/Pr·d_i per boundary (Eq. 6 with P = Pr on the local
+// batch; the paper's pure-model form is the Pc = 1 special case) —
+// charged once forward and once for the transposed backward
+// redistribution. With Pr = 1 the layout is already compatible and the
+// cost vanishes.
+func redistributionSeconds(net *nn.Network, B int, g grid.Grid, assign costmodel.Assignment, m machine.Machine) float64 {
+	if g.Pr == 1 {
+		return 0
+	}
+	widx := net.WeightedLayers()
+	var secs float64
+	for k := 1; k < len(widx); k++ {
+		prev, cur := assign[widx[k-1]], assign[widx[k]]
+		if prev == cur {
+			continue
+		}
+		words := float64(B) / float64(g.Pc) * float64(net.Layers[widx[k-1]].OutSize())
+		secs += 2 * collective.AllGather(g.Pr, words, m).Total()
+	}
+	return secs
+}
+
+// Result is the output of Optimize.
+type Result struct {
+	Best Plan
+	// All holds every evaluated factorization (feasible or not), ordered
+	// by increasing Pr — the bar groups of Figs. 6/7/9/10.
+	All []Plan
+	// PureBatch is the 1 × P baseline when feasible (the reference the
+	// paper's speedup numbers are quoted against).
+	PureBatch *Plan
+}
+
+// Speedup returns Best's improvement over the pure-batch baseline in
+// total iteration time and in communication time (the bold and
+// parenthesized numbers of Figs. 6–7). Returns (0, 0) when pure batch is
+// infeasible (the P > B regime).
+func (r Result) Speedup() (total, comm float64) {
+	if r.PureBatch == nil || !r.PureBatch.Feasible || !r.Best.Feasible {
+		return 0, 0
+	}
+	if r.Best.IterSeconds > 0 {
+		total = r.PureBatch.IterSeconds / r.Best.IterSeconds
+	}
+	if r.Best.CommSeconds > 0 {
+		comm = r.PureBatch.CommSeconds / r.Best.CommSeconds
+	}
+	return total, comm
+}
+
+// Optimize searches every Pr × Pc factorization of P and returns the
+// feasible plan with the lowest iteration time.
+func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
+	if err := opts.Machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	if B < 1 || P < 1 {
+		return Result{}, fmt.Errorf("planner: need B ≥ 1 and P ≥ 1, got B=%d P=%d", B, P)
+	}
+	var res Result
+	best := math.Inf(1)
+	for _, g := range grid.Factorizations(P) {
+		p := Evaluate(net, B, g, opts)
+		res.All = append(res.All, p)
+		if g.IsPureBatch() {
+			pb := p
+			res.PureBatch = &pb
+		}
+		if p.Feasible && p.IterSeconds < best {
+			best = p.IterSeconds
+			res.Best = p
+		}
+	}
+	if math.IsInf(best, 1) {
+		return res, fmt.Errorf("planner: no feasible configuration for B=%d P=%d mode=%v", B, P, opts.Mode)
+	}
+	sort.SliceStable(res.All, func(i, j int) bool { return res.All[i].Grid.Pr < res.All[j].Grid.Pr })
+	return res, nil
+}

@@ -1,0 +1,157 @@
+// Package report renders experiment results as fixed-width text tables,
+// stacked ASCII bar charts (the textual analogue of the paper's bar
+// figures), and CSV for external plotting.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows under a header with per-column alignment, sized to
+// the widest cell.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar is one stacked horizontal bar.
+type Bar struct {
+	Label string
+	// Segments are (name, value) pairs stacked left to right.
+	Segments []Segment
+	// Note is appended after the numeric annotation (e.g. "← best").
+	Note string
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Name  string
+	Value float64
+}
+
+// Total returns the bar's summed value.
+func (b Bar) Total() float64 {
+	var t float64
+	for _, s := range b.Segments {
+		t += s.Value
+	}
+	return t
+}
+
+// segmentGlyphs cycles for successive segments: communication / compute /
+// extras.
+var segmentGlyphs = []rune{'▓', '░', '▒'}
+
+// BarChart renders stacked bars scaled to the widest total, one per line:
+//
+//	1x512  |▓▓▓▓▓░░░░░░░░░     | 0.134s  (comm 0.0834, comp 0.0503)
+func BarChart(title string, bars []Bar, width int, unit string) string {
+	if width < 10 {
+		width = 40
+	}
+	var max float64
+	for _, b := range bars {
+		if t := b.Total(); t > max {
+			max = t
+		}
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var out strings.Builder
+	if title != "" {
+		out.WriteString(title + "\n")
+	}
+	for _, b := range bars {
+		fmt.Fprintf(&out, "%-*s |", labelW, b.Label)
+		drawn := 0
+		for si, s := range b.Segments {
+			n := 0
+			if max > 0 {
+				n = int(s.Value / max * float64(width))
+			}
+			out.WriteString(strings.Repeat(string(segmentGlyphs[si%len(segmentGlyphs)]), n))
+			drawn += n
+		}
+		if drawn < width {
+			out.WriteString(strings.Repeat(" ", width-drawn))
+		}
+		fmt.Fprintf(&out, "| %.4g%s", b.Total(), unit)
+		if len(b.Segments) > 1 {
+			parts := make([]string, len(b.Segments))
+			for i, s := range b.Segments {
+				parts[i] = fmt.Sprintf("%s %.3g", s.Name, s.Value)
+			}
+			fmt.Fprintf(&out, "  (%s)", strings.Join(parts, ", "))
+		}
+		if b.Note != "" {
+			out.WriteString("  " + b.Note)
+		}
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// CSV renders a header and rows as comma-separated values. Cells
+// containing commas or quotes are quoted.
+func CSV(header []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// LogBar renders a simple single-segment chart on a log-ish scale by
+// annotating values only (used for the Fig. 4 curve, whose y-axis spans a
+// decade).
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// Fs formats with fixed decimals.
+func Fs(v float64, dec int) string { return fmt.Sprintf("%.*f", dec, v) }

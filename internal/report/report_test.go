@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "2"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// Every row should be padded to the same width per column: the second
+	// column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "long-header")
+	if strings.Index(lines[2], "1") != off {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestBarChartScalesAndAnnotates(t *testing.T) {
+	bars := []Bar{
+		{Label: "big", Segments: []Segment{{"comm", 3}, {"comp", 1}}},
+		{Label: "small", Segments: []Segment{{"comm", 1}, {"comp", 1}}, Note: "← best"},
+	}
+	out := BarChart("title", bars, 40, "s")
+	if !strings.Contains(out, "title") || !strings.Contains(out, "← best") {
+		t.Fatalf("missing title or note:\n%s", out)
+	}
+	// The larger bar has more filled cells.
+	lines := strings.Split(out, "\n")
+	bigFill := strings.Count(lines[1], "▓") + strings.Count(lines[1], "░")
+	smallFill := strings.Count(lines[2], "▓") + strings.Count(lines[2], "░")
+	if bigFill <= smallFill {
+		t.Fatalf("big bar (%d cells) should exceed small bar (%d):\n%s", bigFill, smallFill, out)
+	}
+	if !strings.Contains(lines[1], "(comm 3, comp 1)") {
+		t.Fatalf("segment annotation missing:\n%s", out)
+	}
+}
+
+func TestBarChartZeroAndNarrowWidth(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "z", Segments: []Segment{{"x", 0}}}}, 5, "s")
+	if !strings.Contains(out, "z") {
+		t.Fatal("zero-value bar should still render its label")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"1,2", `say "hi"`}})
+	want := "a,b\n\"1,2\",\"say \"\"hi\"\"\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.123456) != "0.1235" {
+		t.Fatalf("F = %q", F(0.123456))
+	}
+	if Fs(1.5, 2) != "1.50" {
+		t.Fatalf("Fs = %q", Fs(1.5, 2))
+	}
+}

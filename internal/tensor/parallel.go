@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel variants of the transposed GEMM kernels used in backprop hot
+// paths (∆X = Wᵀ·∆Y and ∆W = ∆Y·Xᵀ). Like MatMulParallel, each worker
+// owns a disjoint band of the output, so results are element-for-element
+// identical to the serial kernels — determinism is a correctness
+// requirement here, because the engine tests compare weight trajectories
+// bit-for-bit across strategies.
+
+// parallelThreshold is the output·inner volume below which the serial
+// kernel wins (goroutine fan-out overhead dominates).
+const parallelThreshold = 1 << 15
+
+// MatMulTNParallel returns aᵀ·b with worker-parallel output column bands.
+// Identical to MatMulTN.
+func MatMulTNParallel(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: MatMulTNParallel outer mismatch")
+	}
+	rows, cols := a.Cols, b.Cols
+	if rows*cols*a.Rows < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		return MatMulTN(a, b)
+	}
+	out := New(rows, cols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	// Partition output rows (columns of a). Each worker scans the shared
+	// k dimension but writes only its own output rows.
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for kk := 0; kk < a.Rows; kk++ {
+				arow := a.Row(kk)
+				brow := b.Data[kk*cols : kk*cols+cols]
+				for i := lo; i < hi; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					orow := out.Data[i*cols : i*cols+cols]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}(r0, r1)
+	}
+	wg.Wait()
+	return out
+}
+
+// MatMulNTParallel returns a·bᵀ with worker-parallel output row bands.
+// Identical to MatMulNT.
+func MatMulNTParallel(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: MatMulNTParallel inner mismatch")
+	}
+	rows, cols := a.Rows, b.Rows
+	if rows*cols*a.Cols < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		return MatMulNT(a, b)
+	}
+	out := New(rows, cols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)
+				for j := 0; j < cols; j++ {
+					brow := b.Row(j)
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					orow[j] = s
+				}
+			}
+		}(r0, r1)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The parallel kernels must be bit-identical to their serial twins —
+// engine trajectory comparisons depend on it.
+
+func TestMatMulTNParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, dims := range [][3]int{{4, 3, 5}, {64, 48, 80}, {128, 96, 64}, {33, 129, 65}, {1, 200, 1}} {
+		a, b := randMat(rng, dims[0], dims[1]), randMat(rng, dims[0], dims[2])
+		if got, want := MatMulTNParallel(a, b), MatMulTN(a, b); !got.Equal(want, 0) {
+			t.Fatalf("TN parallel differs from serial for %v", dims)
+		}
+	}
+}
+
+func TestMatMulNTParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, dims := range [][3]int{{4, 3, 5}, {64, 48, 80}, {128, 96, 64}, {33, 129, 65}, {200, 1, 3}} {
+		a, b := randMat(rng, dims[0], dims[1]), randMat(rng, dims[2], dims[1])
+		if got, want := MatMulNTParallel(a, b), MatMulNT(a, b); !got.Equal(want, 0) {
+			t.Fatalf("NT parallel differs from serial for %v", dims)
+		}
+	}
+}
+
+func TestParallelKernelsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k, r, c := 1+rng.Intn(40), 1+rng.Intn(40), 1+rng.Intn(40)
+		a, b := randMat(rng, k, r), randMat(rng, k, c)
+		if !MatMulTNParallel(a, b).Equal(MatMulTN(a, b), 0) {
+			return false
+		}
+		x, y := randMat(rng, r, k), randMat(rng, c, k)
+		return MatMulNTParallel(x, y).Equal(MatMulNT(x, y), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMulTNSerial(b *testing.B) {
+	x := Random(256, 256, 1, 1)
+	y := Random(256, 256, 1, 2)
+	b.SetBytes(int64(256 * 256 * 256 * 2 * 8))
+	for i := 0; i < b.N; i++ {
+		MatMulTN(x, y)
+	}
+}
+
+func BenchmarkMatMulTNParallel(b *testing.B) {
+	x := Random(256, 256, 1, 1)
+	y := Random(256, 256, 1, 2)
+	b.SetBytes(int64(256 * 256 * 256 * 2 * 8))
+	for i := 0; i < b.N; i++ {
+		MatMulTNParallel(x, y)
+	}
+}
+
+func BenchmarkMatMulNTSerial(b *testing.B) {
+	x := Random(256, 256, 1, 1)
+	y := Random(256, 256, 1, 2)
+	b.SetBytes(int64(256 * 256 * 256 * 2 * 8))
+	for i := 0; i < b.N; i++ {
+		MatMulNT(x, y)
+	}
+}
+
+func BenchmarkMatMulNTParallel(b *testing.B) {
+	x := Random(256, 256, 1, 1)
+	y := Random(256, 256, 1, 2)
+	b.SetBytes(int64(256 * 256 * 256 * 2 * 8))
+	for i := 0; i < b.N; i++ {
+		MatMulNTParallel(x, y)
+	}
+}
