@@ -9,6 +9,7 @@
 //	dnnplan -net alexnet -B 2048 -P 512
 //	dnnplan -net alexnet -B 512 -P 4096 -mode conv-domain
 //	dnnplan -net vgg16 -B 256 -P 64 -mode auto -overlap
+//	dnnplan -net alexnet -B 2048 -P 512 -policy backprop -gantt
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"dnnparallel/internal/nn"
 	"dnnparallel/internal/planner"
 	"dnnparallel/internal/report"
+	"dnnparallel/internal/timeline"
 )
 
 func main() {
@@ -28,7 +30,9 @@ func main() {
 	batch := flag.Int("B", 2048, "global minibatch size")
 	procs := flag.Int("P", 512, "process count")
 	modeName := flag.String("mode", "auto", "conv-layer handling: uniform|conv-batch|conv-domain|auto")
-	overlap := flag.Bool("overlap", false, "assume perfect comm/backprop overlap (Fig. 8)")
+	overlap := flag.Bool("overlap", false, "assume perfect comm/backprop overlap (Fig. 8, aggregate closed form)")
+	policyName := flag.String("policy", "", "score with the per-layer event-driven timeline under this overlap policy: none|backprop|full (overrides -overlap)")
+	gantt := flag.Bool("gantt", false, "print the best plan's per-layer schedule (needs -policy)")
 	alpha := flag.Float64("alpha", 2e-6, "network latency α (seconds)")
 	bwGB := flag.Float64("bw", 6, "network bandwidth 1/β (GB/s)")
 	flag.Parse()
@@ -70,6 +74,19 @@ func main() {
 		Overlap:  *overlap,
 		DatasetN: s.DatasetN,
 	}
+	if *gantt && *policyName == "" {
+		fmt.Fprintln(os.Stderr, "dnnplan: -gantt needs -policy (timeline scoring)")
+		os.Exit(2)
+	}
+	if *policyName != "" {
+		pol, err := timeline.ParsePolicy(*policyName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnnplan:", err)
+			os.Exit(2)
+		}
+		opts.UseTimeline = true
+		opts.TimelinePolicy = pol
+	}
 	opts.Machine.Alpha = *alpha
 	opts.Machine.Beta = 4 / (*bwGB * 1e9)
 
@@ -83,7 +100,7 @@ func main() {
 	var rows [][]string
 	for _, p := range res.All {
 		if !p.Feasible {
-			rows = append(rows, []string{p.Grid.String(), "-", "-", "-", "-", "infeasible: " + p.Reason})
+			rows = append(rows, []string{p.Grid.String(), "-", "-", "-", "-", "-", "infeasible: " + p.Reason})
 			continue
 		}
 		note := ""
@@ -93,11 +110,12 @@ func main() {
 		rows = append(rows, []string{
 			p.Grid.String(),
 			report.F(p.CommSeconds), report.F(p.CompSeconds),
+			report.F(p.ExposedCommSeconds),
 			report.F(p.IterSeconds), report.F(p.EpochSeconds),
 			note,
 		})
 	}
-	fmt.Print(report.Table([]string{"Grid", "comm s/iter", "comp s/iter", "total s/iter", "s/epoch", ""}, rows))
+	fmt.Print(report.Table([]string{"Grid", "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch", ""}, rows))
 
 	if total, comm := res.Speedup(); total > 0 {
 		fmt.Printf("\nSpeedup vs pure batch (1x%d): %.2fx total, %.2fx communication\n", *procs, total, comm)
@@ -121,4 +139,14 @@ func main() {
 		})
 	}
 	fmt.Print(report.Table([]string{"Layer", "Kind", "Output", "|W|", "Strategy"}, srows))
+
+	if *gantt && res.Best.Timeline != nil {
+		fmt.Printf("\nPer-layer schedule, grid %v, policy %v (█ compute, ▒ network):\n",
+			res.Best.Grid, opts.TimelinePolicy)
+		fmt.Print(report.Gantt("", experiments.GanttSpans(res.Best.Timeline), 64))
+		fmt.Printf("makespan %ss, exposed comm %ss, drain %ss\n",
+			report.F(res.Best.Timeline.Makespan),
+			report.F(res.Best.Timeline.ExposedCommSeconds),
+			report.F(res.Best.Timeline.DrainSeconds))
+	}
 }

@@ -8,6 +8,8 @@
 //	dnnsim -exp fig6           # one experiment
 //	dnnsim -exp fig7 -csv      # machine-readable output
 //	dnnsim -exp fig6 -B 1024   # override the batch size
+//	dnnsim -exp timeline -policy backprop -B 2048 -P 512
+//	                           # per-layer event-driven overlap timeline
 package main
 
 import (
@@ -22,14 +24,16 @@ import (
 	"dnnparallel/internal/experiments"
 	"dnnparallel/internal/machine"
 	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|eq5|fig6|fig7|fig8|fig9|fig10|verify|sensitivity|memory|onebyone|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|eq5|fig6|fig7|fig8|fig9|fig10|timeline|verify|sensitivity|memory|onebyone|all")
 	csv := flag.Bool("csv", false, "emit CSV instead of text (scaling experiments)")
 	batch := flag.Int("B", 2048, "global minibatch size for strong-scaling experiments")
 	beyondB := flag.Int("B10", 512, "batch size for the beyond-batch experiment (fig10)")
 	ps := flag.String("P", "", "comma-separated process counts (defaults per experiment)")
+	policy := flag.String("policy", "backprop", "overlap policy for -exp timeline: none|backprop|full")
 	calibrate := flag.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
 	flag.Parse()
 
@@ -86,6 +90,27 @@ func main() {
 			}
 			emitScaling(fmt.Sprintf("Fig. 10 — scaling beyond the P=B=%d limit with domain-parallel convs", *beyondB),
 				res, *csv, s.DatasetN)
+		case "timeline":
+			pol, err := timeline.ParsePolicy(*policy)
+			if err != nil {
+				return err
+			}
+			var studies []experiments.TimelineResult
+			for _, P := range parsePs(*ps, experiments.StandardFig6Ps()) {
+				tr, err := s.TimelineStudy(planner.Auto, pol, *batch, P)
+				if err != nil {
+					return err
+				}
+				if *csv {
+					studies = append(studies, tr)
+					continue
+				}
+				fmt.Print(experiments.RenderTimeline(tr))
+				fmt.Println()
+			}
+			if *csv {
+				fmt.Print(experiments.TimelineCSV(studies))
+			}
 		case "verify":
 			reps, err := experiments.VerifyEngines(4, 8, 7, machine.CoriKNL())
 			if err != nil {
@@ -128,7 +153,7 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig4", "eq5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"verify", "sensitivity", "memory", "onebyone", "modelcheck", "convergence"}
+			"timeline", "verify", "sensitivity", "memory", "onebyone", "modelcheck", "convergence"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -1,0 +1,3 @@
+module dnnparallel
+
+go 1.21

@@ -113,3 +113,41 @@ func (c Model) GridIterTime(net *nn.Network, B int, g grid.Grid) float64 {
 // the 3 GEMMs per weighted layer (∆X and ∆W). Fig. 8 may overlap
 // communication only with this fraction of the computation.
 const BackpropFraction = 2.0 / 3.0
+
+// LayerTime is the per-weighted-layer compute split needed by the
+// event-driven timeline simulator (internal/timeline).
+type LayerTime struct {
+	Index int     // index into Network.Layers
+	Name  string  // layer name
+	Fwd   float64 // forward GEMM seconds
+	Bwd   float64 // ∆X + ∆W GEMM seconds plus the layer's weight-update share
+}
+
+// GridLayerTimes splits GridIterTime into per-weighted-layer forward and
+// backward compute times for the same Pr × Pc grid, plus a residual
+// overhead (the fixed per-iteration framework cost and the compute of
+// unweighted layers such as pooling) that belongs to no single weighted
+// layer. The sum of all layer times plus the overhead equals GridIterTime
+// up to floating-point association.
+func (c Model) GridLayerTimes(net *nn.Network, B int, g grid.Grid) (times []LayerTime, overhead float64) {
+	localB := float64(B) / float64(g.Pc)
+	scale := float64(B) / float64(g.P())
+	for _, li := range net.WeightedLayers() {
+		l := &net.Layers[li]
+		fwd := c.GEMMTime(l.ForwardFLOPsPerSample()*scale, localB)
+		times = append(times, LayerTime{
+			Index: li,
+			Name:  l.Name,
+			Fwd:   fwd,
+			Bwd:   2*fwd + c.UpdateTime(float64(l.Weights())/float64(g.Pr)),
+		})
+	}
+	overhead = c.FixedIter
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		if !l.HasWeights() {
+			overhead += c.GEMMTime(l.TrainFLOPsPerSample()*scale, localB)
+		}
+	}
+	return times, overhead
+}

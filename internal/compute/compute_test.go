@@ -163,3 +163,28 @@ func TestCalibrateLocalDefaults(t *testing.T) {
 		t.Fatal("defaulted calibration failed")
 	}
 }
+
+// TestGridLayerTimesConservation: the per-layer split plus the residual
+// overhead reassembles GridIterTime on every grid shape.
+func TestGridLayerTimesConservation(t *testing.T) {
+	c := KNLCaffe()
+	for _, net := range []*nn.Network{nn.AlexNet(), nn.MLP("m", 512, 1024, 512, 64)} {
+		for _, g := range []grid.Grid{{Pr: 1, Pc: 256}, {Pr: 8, Pc: 32}, {Pr: 256, Pc: 1}} {
+			times, overhead := c.GridLayerTimes(net, 2048, g)
+			if len(times) != len(net.WeightedLayers()) {
+				t.Fatalf("%s %v: %d layer times, want %d", net.Name, g, len(times), len(net.WeightedLayers()))
+			}
+			sum := overhead
+			for _, lt := range times {
+				if lt.Fwd <= 0 || lt.Bwd <= lt.Fwd {
+					t.Fatalf("%s %v layer %s: implausible split fwd=%g bwd=%g", net.Name, g, lt.Name, lt.Fwd, lt.Bwd)
+				}
+				sum += lt.Fwd + lt.Bwd
+			}
+			want := c.GridIterTime(net, 2048, g)
+			if diff := math.Abs(sum-want) / want; diff > 1e-12 {
+				t.Fatalf("%s %v: per-layer sum %g ≠ GridIterTime %g (rel Δ %g)", net.Name, g, sum, want, diff)
+			}
+		}
+	}
+}

@@ -60,12 +60,19 @@ type LayerCost struct {
 	AllGather  collective.Cost // forward activation all-gather (model part)
 	ActReduce  collective.Cost // backprop ∆X all-reduce (model part)
 	GradReduce collective.Cost // ∆W all-reduce (batch part)
-	Halo       collective.Cost // halo exchange, forward + backward (domain part)
+	FwdHalo    collective.Cost // forward input halo exchange (domain part)
+	BwdHalo    collective.Cost // backward output halo exchange (domain part)
 }
+
+// Halo returns the combined forward + backward halo-exchange cost of
+// Eq. 7. The split fields exist because the two directions move different
+// volumes (input vs output panels) and the timeline simulator prices them
+// at different points of the schedule.
+func (lc LayerCost) Halo() collective.Cost { return lc.FwdHalo.Add(lc.BwdHalo) }
 
 // Total returns the layer's total cost.
 func (lc LayerCost) Total() collective.Cost {
-	return lc.AllGather.Add(lc.ActReduce).Add(lc.GradReduce).Add(lc.Halo)
+	return lc.AllGather.Add(lc.ActReduce).Add(lc.GradReduce).Add(lc.FwdHalo).Add(lc.BwdHalo)
 }
 
 // Breakdown is a whole-network per-iteration communication cost.
@@ -97,22 +104,22 @@ func (b *Breakdown) GradReduceSeconds() float64 {
 }
 
 // ForwardSeconds returns the forward-pass communication (activation
-// all-gathers plus half the halo exchanges).
+// all-gathers plus the forward halo exchanges).
 func (b *Breakdown) ForwardSeconds() float64 {
 	var t float64
 	for _, l := range b.Layers {
-		t += l.AllGather.Total() + l.Halo.Total()/2
+		t += l.AllGather.Total() + l.FwdHalo.Total()
 	}
 	return t
 }
 
 // BackwardSeconds returns the backprop communication (∆X and ∆W
-// all-reduces plus half the halo exchanges) — the portion Fig. 8 overlaps
-// with computation.
+// all-reduces plus the backward halo exchanges) — the portion Fig. 8
+// overlaps with computation.
 func (b *Breakdown) BackwardSeconds() float64 {
 	var t float64
 	for _, l := range b.Layers {
-		t += l.ActReduce.Total() + l.GradReduce.Total() + l.Halo.Total()/2
+		t += l.ActReduce.Total() + l.GradReduce.Total() + l.BwdHalo.Total()
 	}
 	return t
 }
@@ -193,18 +200,16 @@ func domainLayerCost(net *nn.Network, li, B, pc, pTotal int, m machine.Machine) 
 	case nn.Conv:
 		fwdHalo := localB * float64(l.In.W*l.In.C) * float64(l.KH/2)
 		bwdHalo := localB * float64(l.Out.W*l.Out.C) * float64(l.KW/2)
-		var halo collective.Cost
 		if fwdHalo > 0 {
-			halo = halo.Add(collective.PointToPoint(fwdHalo, m))
+			lc.FwdHalo = collective.PointToPoint(fwdHalo, m)
 		}
 		if bwdHalo > 0 {
-			halo = halo.Add(collective.PointToPoint(bwdHalo, m))
+			lc.BwdHalo = collective.PointToPoint(bwdHalo, m)
 		}
-		lc.Halo = halo
 	case nn.FC:
 		// Whole input forward, whole output gradient backward.
-		lc.Halo = collective.PointToPoint(localB*float64(l.InSize()), m).
-			Add(collective.PointToPoint(localB*float64(l.OutSize()), m))
+		lc.FwdHalo = collective.PointToPoint(localB*float64(l.InSize()), m)
+		lc.BwdHalo = collective.PointToPoint(localB*float64(l.OutSize()), m)
 	}
 	lc.GradReduce = collective.AllReduce(pTotal, float64(l.Weights()), m)
 	return lc

@@ -200,10 +200,10 @@ func TestDomainFreeFor1x1Conv(t *testing.T) {
 	for _, li := range net.ConvLayers() {
 		l := &net.Layers[li]
 		lc := domainLayerCost(net, li, 64, 4, 16, knl())
-		if l.KH == 1 && l.KW == 1 && lc.Halo.Total() != 0 {
-			t.Fatalf("%s: 1×1 conv should have zero halo, got %g", l.Name, lc.Halo.Total())
+		if l.KH == 1 && l.KW == 1 && lc.Halo().Total() != 0 {
+			t.Fatalf("%s: 1×1 conv should have zero halo, got %g", l.Name, lc.Halo().Total())
 		}
-		if l.KH == 3 && lc.Halo.Total() == 0 {
+		if l.KH == 3 && lc.Halo().Total() == 0 {
 			t.Fatalf("%s: 3×3 conv should have non-zero halo", l.Name)
 		}
 	}
@@ -316,8 +316,8 @@ func TestPureDomainCarriesFullBatch(t *testing.T) {
 	d2 := PureDomain(net, 512, p, knl())
 	var h1, h2 float64
 	for i := range d1.Layers {
-		h1 += d1.Layers[i].Halo.Bandwidth
-		h2 += d2.Layers[i].Halo.Bandwidth
+		h1 += d1.Layers[i].Halo().Bandwidth
+		h2 += d2.Layers[i].Halo().Bandwidth
 	}
 	if math.Abs(h2-2*h1) > 1e-12*h2 {
 		t.Fatalf("pure-domain halo bandwidth not linear in B: %g vs 2×%g", h2, h1)

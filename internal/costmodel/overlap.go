@@ -1,31 +1,125 @@
 package costmodel
 
-import "dnnparallel/internal/compute"
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dnnparallel/internal/compute"
+	"dnnparallel/internal/timeline"
+)
+
+// validateIteration fails loudly on unphysical inputs — negative or NaN
+// times would silently corrupt every scaling figure built on top, so the
+// contract matches the shape-validation panics of internal/tensor.
+func validateIteration(b *Breakdown, compSeconds float64) {
+	if compSeconds < 0 || math.IsNaN(compSeconds) {
+		panic(fmt.Sprintf("costmodel: invalid computation time %g", compSeconds))
+	}
+	for _, l := range b.Layers {
+		for _, c := range []struct {
+			name string
+			cost float64
+		}{
+			{"all-gather", l.AllGather.Total()},
+			{"∆X all-reduce", l.ActReduce.Total()},
+			{"∆W all-reduce", l.GradReduce.Total()},
+			{"forward halo", l.FwdHalo.Total()},
+			{"backward halo", l.BwdHalo.Total()},
+		} {
+			if c.cost < 0 || math.IsNaN(c.cost) {
+				panic(fmt.Sprintf("costmodel: layer %q has invalid %s cost %g", l.Name, c.name, c.cost))
+			}
+		}
+	}
+}
 
 // IterationSeconds combines a per-iteration communication breakdown with a
-// per-process computation time.
+// per-process computation time. Inputs must be non-negative; negative or
+// NaN times panic.
 //
 // With overlap=false, communication and computation serialize (the
-// baseline of Figs. 6, 7, 9, 10).
+// baseline of Figs. 6, 7, 9, 10) — the closed-form legacy path, identical
+// to timeline.PolicyNone.
 //
-// With overlap=true it applies the Fig. 8 idealization: backprop
-// communication (the ∆X and ∆W all-reduces plus the backward halo — the
-// paper's "two-thirds of the communication") hides perfectly behind
-// backprop computation (2 of the 3 GEMMs); forward communication remains
-// exposed because the all-gather blocks the next layer's compute.
+// With overlap=true it prices the Fig. 8 idealization — backprop
+// communication (the ∆X and ∆W all-reduces plus the backward halo, the
+// paper's "two-thirds of the communication") hides behind backprop
+// computation (2 of the 3 GEMMs) while forward communication stays
+// exposed — by delegating to the event-driven timeline simulator on the
+// aggregate single-layer inputs under timeline.PolicyBackprop. The
+// delegation reproduces the historical closed form
+// comp + fwdComm + max(0, bwdComm − BackpropFraction·comp) exactly.
 func IterationSeconds(b *Breakdown, compSeconds float64, overlap bool) float64 {
-	comm := b.TotalSeconds()
+	validateIteration(b, compSeconds)
 	if !overlap {
-		return comm + compSeconds
+		return b.TotalSeconds() + compSeconds
 	}
-	bwdComm := b.BackwardSeconds()
-	fwdComm := comm - bwdComm
+	res, err := timeline.SimulateLayers(AggregateTimeline(b, compSeconds), timeline.PolicyBackprop)
+	if err != nil {
+		// The aggregate graph is a four-event chain; it cannot cycle.
+		panic(fmt.Sprintf("costmodel: aggregate timeline failed: %v", err))
+	}
+	return res.Makespan
+}
+
+// AggregateTimeline collapses a Breakdown plus an aggregate compute time
+// into a single timeline layer: forward communication becomes one
+// all-gather, backward communication one ∆X all-reduce, and the compute
+// splits by BackpropFraction. Simulating it under timeline.PolicyBackprop
+// yields the Fig. 8 closed form; it is the bridge between the legacy
+// aggregate API and the per-layer simulator.
+func AggregateTimeline(b *Breakdown, compSeconds float64) []timeline.Layer {
 	bwdComp := compute.BackpropFraction * compSeconds
-	exposed := bwdComm - bwdComp
-	if exposed < 0 {
-		exposed = 0
+	return []timeline.Layer{{
+		Name:      "aggregate",
+		FwdComp:   compSeconds - bwdComp,
+		BwdComp:   bwdComp,
+		AllGather: b.ForwardSeconds(),
+		ActReduce: b.BackwardSeconds(),
+	}}
+}
+
+// TimelineLayers pairs the per-layer communication costs of a Breakdown
+// with per-layer compute times (compute.Model.GridLayerTimes) to build the
+// full-resolution simulator input. Layers present in only one of the two
+// inputs keep zero durations on the missing side; matching is by layer
+// index into Network.Layers, and the output is sorted by that index —
+// the simulator treats slice order as forward order, so encounter order
+// must not leak through when the two inputs cover different index sets.
+func TimelineLayers(b *Breakdown, times []compute.LayerTime) []timeline.Layer {
+	merged := make(map[int]*timeline.Layer, len(b.Layers))
+	at := func(index int, name string) *timeline.Layer {
+		if l, ok := merged[index]; ok {
+			return l
+		}
+		l := &timeline.Layer{Name: name}
+		merged[index] = l
+		return l
 	}
-	return compSeconds + fwdComm + exposed
+	for _, lc := range b.Layers {
+		l := at(lc.Index, lc.Name)
+		l.AllGather = lc.AllGather.Total()
+		l.FwdHalo = lc.FwdHalo.Total()
+		l.ActReduce = lc.ActReduce.Total()
+		l.GradReduce = lc.GradReduce.Total()
+		l.BwdHalo = lc.BwdHalo.Total()
+	}
+	for _, t := range times {
+		l := at(t.Index, t.Name)
+		l.FwdComp = t.Fwd
+		l.BwdComp = t.Bwd
+	}
+	indices := make([]int, 0, len(merged))
+	for i := range merged {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	out := make([]timeline.Layer, 0, len(indices))
+	for _, i := range indices {
+		out = append(out, *merged[i])
+	}
+	return out
 }
 
 // EpochIterations returns ⌈N/B⌉, the SGD steps per epoch.

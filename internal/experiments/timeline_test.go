@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
+)
+
+// TestTimelineStudy: the study returns a feasible best plan with an
+// attached schedule and prices it under all three policies in the right
+// order (more permissive overlap can only be faster).
+func TestTimelineStudy(t *testing.T) {
+	s := Default()
+	tr, err := s.TimelineStudy(planner.Auto, timeline.PolicyBackprop, 2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Result.Best.Feasible || tr.Result.Best.Timeline == nil {
+		t.Fatal("study produced no scheduled best plan")
+	}
+	none, bp, full := tr.ByPolicy[timeline.PolicyNone], tr.ByPolicy[timeline.PolicyBackprop], tr.ByPolicy[timeline.PolicyFull]
+	if none == 0 || bp == 0 || full == 0 {
+		t.Fatalf("missing policy prices: %v", tr.ByPolicy)
+	}
+	if !(full <= bp+1e-12 && bp <= none+1e-12) {
+		t.Fatalf("policy ordering violated: none %g, backprop %g, full %g", none, bp, full)
+	}
+
+	out := RenderTimeline(tr)
+	for _, want := range []string{"best grid", "Policy", "backprop", "fwd exposed", "schedule", "fc8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered study missing %q:\n%s", want, out)
+		}
+	}
+
+	// Multiple studies share a single header so the combined output stays
+	// machine-readable.
+	csv := TimelineCSV([]TimelineResult{tr, tr})
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	perStudy := len(tr.Result.Best.Timeline.PerLayer) + 2 // layers + drain + total
+	if want := 1 + 2*perStudy; len(lines) != want {
+		t.Fatalf("timeline CSV has %d lines, want %d:\n%s", len(lines), want, csv)
+	}
+	if !strings.HasPrefix(lines[0], "P,B,policy,grid,layer") {
+		t.Fatalf("timeline CSV header wrong: %q", lines[0])
+	}
+	if got := strings.Count(csv, "P,B,policy"); got != 1 {
+		t.Fatalf("header repeated %d times", got)
+	}
+	if !strings.Contains(lines[len(lines)-1], "(total)") {
+		t.Fatalf("timeline CSV missing total row: %q", lines[len(lines)-1])
+	}
+}

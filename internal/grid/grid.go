@@ -113,10 +113,3 @@ func BlockShard(n, p, i int) Shard {
 	}
 	return Shard{Lo: lo, Hi: lo + size}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -199,10 +199,3 @@ func (c *Comm) Barrier() {
 		c.SendRecv(dst, tagBarrier, nil, src, tagBarrier)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

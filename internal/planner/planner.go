@@ -19,6 +19,7 @@ import (
 	"dnnparallel/internal/grid"
 	"dnnparallel/internal/machine"
 	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
 )
 
 // Mode selects how convolutional layers are treated during the search.
@@ -79,6 +80,18 @@ type Options struct {
 	// to large batch sizes": remaining processes must come from the Pr
 	// (model/domain) dimension.
 	MaxPc int
+	// UseTimeline scores each feasible grid with the per-layer
+	// event-driven simulator (internal/timeline) under TimelinePolicy
+	// instead of the aggregate closed form, making the exposed
+	// communication of every candidate grid exact to the per-layer
+	// schedule. When false, scoring follows the legacy Overlap flag and
+	// planner results are bit-identical to the pre-timeline planner.
+	UseTimeline bool
+	// TimelinePolicy selects the overlap policy for UseTimeline scoring.
+	// The zero value, timeline.PolicyNone, serializes (the Figs. 6/7/9/10
+	// baseline); PolicyBackprop generalizes Fig. 8 per layer; PolicyFull
+	// models an idealized asynchronous pipeline.
+	TimelinePolicy timeline.Policy
 }
 
 // DefaultOptions returns the paper's Table 1 configuration.
@@ -103,6 +116,12 @@ type Plan struct {
 	IterSeconds  float64 // combined (with overlap if requested)
 	EpochSeconds float64 // IterSeconds × ⌈N/B⌉ (0 when DatasetN unset)
 	MemoryWords  float64 // per-process footprint (costmodel.Memory)
+	// ExposedCommSeconds is the communication the schedule could not hide
+	// behind computation (IterSeconds − CompSeconds, ≥ 0).
+	ExposedCommSeconds float64
+	// Timeline holds the per-layer schedule when Options.UseTimeline is
+	// set (nil otherwise).
+	Timeline *timeline.Result
 
 	Feasible bool
 	Reason   string // why infeasible, when Feasible is false
@@ -222,8 +241,31 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 	p.Feasible = true
 	p.Breakdown = costmodel.FullIntegrated(net, B, g, p.Assignment, opts.Machine)
 	p.CommSeconds = p.Breakdown.TotalSeconds()
-	p.CompSeconds = opts.Compute.GridIterTime(net, B, g)
-	p.IterSeconds = costmodel.IterationSeconds(p.Breakdown, p.CompSeconds, opts.Overlap)
+	if opts.UseTimeline {
+		times, overhead := opts.Compute.GridLayerTimes(net, B, g)
+		// The per-layer split plus the residual overhead *is* the grid
+		// compute time (compute.TestGridLayerTimesConservation); deriving
+		// CompSeconds from it keeps exposure = IterSeconds − CompSeconds
+		// exact without pricing the compute model twice.
+		p.CompSeconds = overhead
+		for _, lt := range times {
+			p.CompSeconds += lt.Fwd + lt.Bwd
+		}
+		res, err := timeline.SimulateLayers(costmodel.TimelineLayers(p.Breakdown, times), opts.TimelinePolicy)
+		if err != nil {
+			p.Feasible = false
+			p.Reason = fmt.Sprintf("timeline simulation failed: %v", err)
+			return p
+		}
+		p.Timeline = res
+		// The fixed per-iteration overhead (and unweighted-layer compute)
+		// belongs to no layer; it extends the compute pipe and overlaps
+		// nothing.
+		p.IterSeconds = res.Makespan + overhead
+	} else {
+		p.CompSeconds = opts.Compute.GridIterTime(net, B, g)
+		p.IterSeconds = costmodel.IterationSeconds(p.Breakdown, p.CompSeconds, opts.Overlap)
+	}
 	if opts.AddRedistribution {
 		// The redistribution all-gather blocks the next layer's compute,
 		// so it is never overlapped.
@@ -231,6 +273,7 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 		p.CommSeconds += r
 		p.IterSeconds += r
 	}
+	p.ExposedCommSeconds = math.Max(0, p.IterSeconds-p.CompSeconds)
 	if opts.DatasetN > 0 {
 		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
 	}

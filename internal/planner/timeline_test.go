@@ -1,0 +1,149 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"dnnparallel/internal/compute"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
+)
+
+func timelineOpts(mode Mode, pol timeline.Policy) Options {
+	o := DefaultOptions()
+	o.Mode = mode
+	o.UseTimeline = true
+	o.TimelinePolicy = pol
+	return o
+}
+
+// TestTimelineNoneMatchesLegacySerial: with PolicyNone the per-layer
+// schedule serializes everything, so scoring must agree with the legacy
+// closed-form comm + comp path on every grid.
+func TestTimelineNoneMatchesLegacySerial(t *testing.T) {
+	net := nn.AlexNet()
+	legacy, err := Optimize(net, 2048, 256, opts(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Optimize(net, 2048, 256, timelineOpts(Auto, timeline.PolicyNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.All) != len(tl.All) {
+		t.Fatalf("plan counts differ: %d vs %d", len(legacy.All), len(tl.All))
+	}
+	for i := range legacy.All {
+		a, b := legacy.All[i], tl.All[i]
+		if a.Feasible != b.Feasible {
+			t.Fatalf("grid %v: feasibility differs", a.Grid)
+		}
+		if !a.Feasible {
+			continue
+		}
+		if math.Abs(a.IterSeconds-b.IterSeconds) > 1e-9*math.Max(1, a.IterSeconds) {
+			t.Fatalf("grid %v: legacy %g vs timeline-none %g", a.Grid, a.IterSeconds, b.IterSeconds)
+		}
+		if b.Timeline == nil {
+			t.Fatalf("grid %v: timeline result missing", b.Grid)
+		}
+	}
+	if legacy.Best.Grid != tl.Best.Grid {
+		t.Fatalf("best grid moved without overlap: %v vs %v", legacy.Best.Grid, tl.Best.Grid)
+	}
+}
+
+// TestTimelinePolicyOrdering: more permissive policies can only lower the
+// score, and every plan stays within the physical bounds.
+func TestTimelinePolicyOrdering(t *testing.T) {
+	net := nn.AlexNet()
+	for _, P := range []int{64, 256, 1024} {
+		var prev *Result
+		for _, pol := range []timeline.Policy{timeline.PolicyNone, timeline.PolicyBackprop, timeline.PolicyFull} {
+			res, err := Optimize(net, 2048, P, timelineOpts(Auto, pol))
+			if err != nil {
+				t.Fatalf("P=%d %v: %v", P, pol, err)
+			}
+			for _, p := range res.All {
+				if !p.Feasible {
+					continue
+				}
+				if p.IterSeconds < p.CompSeconds-1e-12 {
+					t.Fatalf("P=%d %v grid %v: iter %g below compute %g", P, pol, p.Grid, p.IterSeconds, p.CompSeconds)
+				}
+				if p.IterSeconds > p.CompSeconds+p.CommSeconds+1e-9 {
+					t.Fatalf("P=%d %v grid %v: iter %g above serialized bound", P, pol, p.Grid, p.IterSeconds)
+				}
+				if p.ExposedCommSeconds < 0 || p.ExposedCommSeconds > p.CommSeconds+1e-9 {
+					t.Fatalf("P=%d %v grid %v: exposed %g out of [0, %g]", P, pol, p.Grid, p.ExposedCommSeconds, p.CommSeconds)
+				}
+			}
+			if prev != nil && res.Best.IterSeconds > prev.Best.IterSeconds+1e-9 {
+				t.Fatalf("P=%d: policy %v best %g worse than stricter policy best %g",
+					P, pol, res.Best.IterSeconds, prev.Best.IterSeconds)
+			}
+			prev = &res
+		}
+	}
+}
+
+// TestTimelineBackpropNeverBeatsAggregate: the aggregate Fig. 8 formula
+// is the most optimistic view — it lets all backward communication hide
+// behind the whole backward phase (including the fixed overhead's
+// BackpropFraction share, which belongs to no layer). The per-layer
+// schedule can only reveal more exposure, never less, so for every grid
+// the timeline score is bounded below by the aggregate score minus the
+// overhead's backprop share.
+func TestTimelineBackpropNeverBeatsAggregate(t *testing.T) {
+	net := nn.AlexNet()
+	agg := DefaultOptions()
+	agg.Mode = Auto
+	agg.Overlap = true
+	for _, P := range []int{256, 2048} {
+		ra, err := Optimize(net, 2048, P, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := Optimize(net, 2048, P, timelineOpts(Auto, timeline.PolicyBackprop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra.All {
+			a, b := ra.All[i], rt.All[i]
+			if !a.Feasible || !b.Feasible {
+				continue
+			}
+			_, overhead := agg.Compute.GridLayerTimes(net, 2048, a.Grid)
+			floor := a.IterSeconds - compute.BackpropFraction*overhead
+			if b.IterSeconds < floor-1e-9*math.Max(1, floor) {
+				t.Fatalf("P=%d grid %v: per-layer %g below aggregate idealization floor %g",
+					P, a.Grid, b.IterSeconds, floor)
+			}
+		}
+	}
+}
+
+// TestTimelineExposureIsPerLayer: the planner surfaces the per-layer
+// schedule, and its exposure accounting is self-consistent.
+func TestTimelineExposureIsPerLayer(t *testing.T) {
+	net := nn.AlexNet()
+	res, err := Optimize(net, 2048, 512, timelineOpts(Uniform, timeline.PolicyBackprop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Best
+	if p.Timeline == nil || len(p.Timeline.Spans) == 0 {
+		t.Fatal("best plan carries no timeline")
+	}
+	if len(p.Timeline.PerLayer) != len(net.WeightedLayers()) {
+		t.Fatalf("per-layer stats: %d entries, want %d", len(p.Timeline.PerLayer), len(net.WeightedLayers()))
+	}
+	var exposed float64
+	for _, st := range p.Timeline.PerLayer {
+		exposed += st.FwdExposed + st.BwdExposed
+	}
+	exposed += p.Timeline.DrainSeconds
+	if math.Abs(exposed-p.Timeline.ExposedCommSeconds) > 1e-9 {
+		t.Fatalf("per-layer exposure %g + drain ≠ total exposed %g", exposed, p.Timeline.ExposedCommSeconds)
+	}
+}

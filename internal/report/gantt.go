@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GanttSpan is one scheduled interval of a timeline chart. Lane selects
+// the glyph (lane 0 = compute '█', lane 1 = network '▒', further lanes
+// cycle); Label names the row.
+type GanttSpan struct {
+	Label      string
+	Lane       int
+	Start, End float64
+}
+
+var laneGlyphs = []rune{'█', '▒', '▓'}
+
+// Gantt renders spans as a fixed-width text timeline, one row per span in
+// the given order:
+//
+//	fwd conv1     |██····································| 0s – 0.0013s
+//	allgather c1  |··▒▒▒·································| 0.0013s – 0.0041s
+//
+// The time axis runs from 0 to the latest End. Spans too short for one
+// cell still draw a single glyph so α-dominated messages stay visible.
+func Gantt(title string, spans []GanttSpan, width int) string {
+	if width < 10 {
+		width = 60
+	}
+	var makespan float64
+	labelW := 0
+	for _, s := range spans {
+		if s.End > makespan {
+			makespan = s.End
+		}
+		if len([]rune(s.Label)) > labelW {
+			labelW = len([]rune(s.Label))
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	if makespan <= 0 || len(spans) == 0 {
+		b.WriteString("(empty timeline)\n")
+		return b.String()
+	}
+	cell := makespan / float64(width)
+	for _, s := range spans {
+		lo := int(s.Start / cell)
+		hi := int(s.End / cell)
+		if hi >= width {
+			hi = width - 1
+		}
+		if lo > hi {
+			lo = hi
+		}
+		glyph := laneGlyphs[((s.Lane%len(laneGlyphs))+len(laneGlyphs))%len(laneGlyphs)]
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '·'
+		}
+		for i := lo; i <= hi; i++ {
+			row[i] = glyph
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %ss – %ss\n",
+			labelW, s.Label, string(row), F(s.Start), F(s.End))
+	}
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttPositionsSpans(t *testing.T) {
+	spans := []GanttSpan{
+		{Label: "fwd a", Lane: 0, Start: 0, End: 5},
+		{Label: "ag a", Lane: 1, Start: 5, End: 10},
+	}
+	out := Gantt("title", spans, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want title + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "title" {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "█") || strings.Contains(lines[1], "▒") {
+		t.Fatalf("compute row glyphs wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "▒") || strings.Contains(lines[2], "█") {
+		t.Fatalf("network row glyphs wrong: %q", lines[2])
+	}
+	// The first span fills the left half, the second the right half.
+	bar1 := lines[1][strings.Index(lines[1], "|")+1 : strings.LastIndex(lines[1], "|")]
+	if !strings.HasPrefix(bar1, "█") || !strings.HasSuffix(strings.TrimRight(bar1, "·"), "█") {
+		t.Fatalf("span 1 not left-aligned: %q", bar1)
+	}
+	if !strings.Contains(lines[2], "5s – 10s") {
+		t.Fatalf("numeric annotation missing: %q", lines[2])
+	}
+}
+
+func TestGanttShortSpansStayVisible(t *testing.T) {
+	spans := []GanttSpan{
+		{Label: "long", Lane: 0, Start: 0, End: 100},
+		{Label: "tiny", Lane: 1, Start: 50, End: 50.0001},
+	}
+	out := Gantt("", spans, 40)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "tiny") && !strings.Contains(line, "▒") {
+			t.Fatalf("α-sized span vanished: %q", line)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := Gantt("t", nil, 40); !strings.Contains(out, "empty timeline") {
+		t.Fatalf("empty case: %q", out)
+	}
+}

@@ -1,0 +1,285 @@
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Policy selects how much communication may overlap computation.
+type Policy int
+
+const (
+	// PolicyNone serializes everything: each compute and communication
+	// event waits for every previous one. The makespan equals the sum of
+	// all durations — exactly the closed-form comm + comp baseline of
+	// Figs. 6, 7, 9, 10.
+	PolicyNone Policy = iota
+	// PolicyBackprop generalizes the Fig. 8 idealization per layer:
+	// backward communication (∆X/∆W all-reduces, backward halo) is issued
+	// as soon as the producing layer's backprop begins — gradients stream
+	// out chunk by chunk — and only the end-of-iteration barrier waits for
+	// the link to drain. Forward communication stays blocking: the
+	// all-gather must finish before the next layer's forward GEMM, and
+	// the halo exchange before the consuming layer's own GEMM.
+	PolicyBackprop
+	// PolicyFull additionally un-blocks forward communication: an
+	// all-gather still starts only after its producing GEMM, but the next
+	// layer's compute does not wait on it (idealized pre-fetch /
+	// asynchronous pipeline, as in local-update training schemes). The
+	// compute pipe never stalls; the iteration ends when the slower of
+	// the two resources finishes.
+	PolicyFull
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyBackprop:
+		return "backprop"
+	case PolicyFull:
+		return "full"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy converts a flag value into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "serial", "":
+		return PolicyNone, nil
+	case "backprop", "overlap":
+		return PolicyBackprop, nil
+	case "full", "async":
+		return PolicyFull, nil
+	}
+	return PolicyNone, fmt.Errorf("timeline: unknown overlap policy %q (want none|backprop|full)", s)
+}
+
+// Layer is the per-layer input to the simulator: compute durations on the
+// compute pipe and communication durations on the link, all in seconds.
+// Zero-duration entries generate no event. Layers appear in forward
+// order; the backward pass visits them in reverse.
+type Layer struct {
+	Name string
+
+	FwdComp float64 // forward GEMM
+	BwdComp float64 // backprop GEMMs (∆X, ∆W) plus the local weight update
+
+	AllGather  float64 // forward activation all-gather (blocks the next layer's FwdComp)
+	FwdHalo    float64 // forward input halo exchange (blocks this layer's FwdComp)
+	ActReduce  float64 // backprop ∆X all-reduce
+	GradReduce float64 // ∆W all-reduce
+	BwdHalo    float64 // backward output halo exchange
+}
+
+// CommSeconds returns the layer's total time on the link.
+func (l Layer) CommSeconds() float64 {
+	return l.AllGather + l.FwdHalo + l.ActReduce + l.GradReduce + l.BwdHalo
+}
+
+// CompSeconds returns the layer's total time on the compute pipe.
+func (l Layer) CompSeconds() float64 { return l.FwdComp + l.BwdComp }
+
+func (l Layer) validate(i int) {
+	check := func(field string, v float64) {
+		if v < 0 || math.IsNaN(v) {
+			panic(fmt.Sprintf("timeline: layer %d (%s): invalid %s duration %g", i, l.Name, field, v))
+		}
+	}
+	check("FwdComp", l.FwdComp)
+	check("BwdComp", l.BwdComp)
+	check("AllGather", l.AllGather)
+	check("FwdHalo", l.FwdHalo)
+	check("ActReduce", l.ActReduce)
+	check("GradReduce", l.GradReduce)
+	check("BwdHalo", l.BwdHalo)
+}
+
+// LayerStats aggregates a layer's scheduled time.
+type LayerStats struct {
+	Name        string
+	CompSeconds float64
+	CommSeconds float64
+	FwdExposed  float64 // compute-pipe stall ending at this layer's forward GEMM
+	BwdExposed  float64 // compute-pipe stall ending at this layer's backward GEMMs
+}
+
+// Result is a simulated iteration.
+type Result struct {
+	Policy   Policy
+	Spans    []Span // in start order
+	Makespan float64
+
+	ComputeSeconds float64 // total busy time on the compute pipe
+	CommSeconds    float64 // total busy time on the link
+	// ExposedCommSeconds is the communication the schedule could not hide:
+	// Makespan − ComputeSeconds. With PolicyNone it equals CommSeconds;
+	// with perfect hiding it is 0.
+	ExposedCommSeconds float64
+	// DrainSeconds is the tail of ExposedCommSeconds spent after the last
+	// compute event, waiting for the link backlog to clear — the
+	// end-of-iteration serialization the closed form models with its
+	// single max(0, bwdComm − bwdComp) term.
+	DrainSeconds float64
+
+	PerLayer []LayerStats
+}
+
+// SimulateLayers builds the event graph for the given overlap policy and
+// runs it. Negative or NaN durations panic; an empty layer list returns a
+// zero Result.
+func SimulateLayers(layers []Layer, policy Policy) (*Result, error) {
+	for i := range layers {
+		layers[i].validate(i)
+	}
+	events := buildEvents(layers, policy)
+	spans, err := Simulate(events)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(layers, policy, spans), nil
+}
+
+// buildEvents lays out one iteration: forward compute for layers 0..L−1,
+// then backward compute for layers L−1..0, with communication events wired
+// according to the policy.
+//
+// Dependencies are passed around as *handles*: a handle is the list of
+// event IDs whose completion stands for the completion of a (possibly
+// zero-duration) step. A zero-duration step emits no event and its handle
+// is simply its own dependency handle, so prerequisites forward
+// transitively through skipped events instead of being dropped.
+func buildEvents(layers []Layer, policy Policy) []Event {
+	var events []Event
+	lastReal := -1 // most recent real event, for PolicyNone serialization
+	add := func(layer int, kind Kind, res Resource, dur float64, deps []int) []int {
+		if dur == 0 {
+			return deps
+		}
+		d := append([]int(nil), deps...)
+		if policy == PolicyNone && lastReal >= 0 {
+			// Serialize on the immediately preceding event; transitive
+			// dependencies make the full chain.
+			d = append(d, lastReal)
+		}
+		id := len(events)
+		events = append(events, Event{
+			ID:       id,
+			Layer:    layer,
+			Name:     fmt.Sprintf("%s %s", kind, layers[layer].Name),
+			Kind:     kind,
+			Resource: res,
+			Duration: dur,
+			Deps:     d,
+		})
+		lastReal = id
+		return []int{id}
+	}
+	union := func(hs ...[]int) []int {
+		var out []int
+		for _, h := range hs {
+			out = append(out, h...)
+		}
+		return out
+	}
+
+	L := len(layers)
+	fwdDone := make([][]int, L) // FwdComp handle per layer
+	agDone := make([][]int, L)  // AllGather handle per layer
+
+	// Forward pass.
+	for i := range layers {
+		var deps []int
+		if i > 0 {
+			deps = union(deps, fwdDone[i-1])
+			if policy != PolicyFull {
+				deps = union(deps, agDone[i-1]) // all-gather blocks the next GEMM
+			}
+		}
+		halo := add(i, FwdHalo, Network, layers[i].FwdHalo, deps)
+		fdeps := deps
+		if policy != PolicyFull {
+			fdeps = union(deps, halo) // input halo blocks this GEMM
+		}
+		fwdDone[i] = add(i, FwdComp, Compute, layers[i].FwdComp, fdeps)
+		agDone[i] = add(i, AllGather, Network, layers[i].AllGather, fwdDone[i])
+	}
+
+	// Backward pass, last layer first.
+	var prevBwd []int
+	for i := L - 1; i >= 0; i-- {
+		var deps []int
+		if i < L-1 {
+			deps = prevBwd
+		} else {
+			// The loss needs the last forward GEMM and (except under
+			// PolicyFull) its gathered activations.
+			deps = fwdDone[L-1]
+			if policy != PolicyFull {
+				deps = union(fwdDone[L-1], agDone[L-1])
+			}
+		}
+		bwd := add(i, BwdComp, Compute, layers[i].BwdComp, deps)
+		// Backward communication is issued at the start of the layer's
+		// backprop (gradient chunks stream out as they are produced), so
+		// it shares the compute event's dependencies rather than waiting
+		// for it — the per-layer form of the Fig. 8 idealization. Under
+		// PolicyNone the add() serialization reinstates strict order.
+		commDeps := deps
+		if policy == PolicyNone {
+			commDeps = bwd
+		}
+		add(i, BwdHalo, Network, layers[i].BwdHalo, commDeps)
+		add(i, ActReduce, Network, layers[i].ActReduce, commDeps)
+		add(i, GradReduce, Network, layers[i].GradReduce, commDeps)
+		prevBwd = bwd
+	}
+	return events
+}
+
+func summarize(layers []Layer, policy Policy, spans []Span) *Result {
+	r := &Result{Policy: policy, Spans: spans}
+	r.PerLayer = make([]LayerStats, len(layers))
+	for i := range layers {
+		r.PerLayer[i].Name = layers[i].Name
+	}
+	lastComputeEnd := 0.0
+	prevComputeEnd := 0.0
+	for _, s := range spans {
+		if s.End > r.Makespan {
+			r.Makespan = s.End
+		}
+		st := &r.PerLayer[s.Layer]
+		switch s.Resource {
+		case Compute:
+			r.ComputeSeconds += s.Duration
+			st.CompSeconds += s.Duration
+			if gap := s.Start - prevComputeEnd; gap > 0 {
+				// Attribute the stall to the compute event that ends it.
+				if s.Kind == FwdComp {
+					st.FwdExposed += gap
+				} else {
+					st.BwdExposed += gap
+				}
+			}
+			prevComputeEnd = s.End
+			if s.End > lastComputeEnd {
+				lastComputeEnd = s.End
+			}
+		case Network:
+			r.CommSeconds += s.Duration
+			st.CommSeconds += s.Duration
+		}
+	}
+	r.ExposedCommSeconds = r.Makespan - r.ComputeSeconds
+	if r.ExposedCommSeconds < 0 {
+		r.ExposedCommSeconds = 0 // float noise only; compute never overlaps itself
+	}
+	r.DrainSeconds = r.Makespan - lastComputeEnd
+	if r.DrainSeconds < 0 {
+		r.DrainSeconds = 0
+	}
+	return r
+}

@@ -1,0 +1,176 @@
+// Package timeline is a discrete-event simulator for one training
+// iteration: per-layer forward/backward compute events and per-layer
+// communication events (all-gather, all-reduce, halo exchange) are
+// scheduled on two serialized resources — a compute pipe and a network
+// link — under a configurable overlap policy.
+//
+// It replaces the one-line Fig. 8 idealization of
+// costmodel.IterationSeconds (exposed = max(0, bwdComm − bwdComp)) with a
+// per-layer model that can express what the closed form cannot:
+//
+//   - per-layer exposure: an all-gather blocks the *next* layer's forward
+//     compute, so a single oversized activation panel shows up as a stall
+//     in the right place rather than being averaged away;
+//   - serialization at small per-rank work: when α-dominated messages
+//     queue up on the link faster than backprop retires GEMMs, the
+//     network backlog drains after the last GEMM and the iteration
+//     becomes communication-bound layer by layer, exactly the regime the
+//     paper observes at large P;
+//   - pipelined scenarios: PolicyFull removes the forward all-gather
+//     barrier, modeling the asynchronous/local-update schemes of the
+//     related work (see PAPERS.md).
+//
+// The simulator is deterministic: events are scheduled greedily
+// (non-idling) with earliest-start-time order, ties broken by issue
+// order, so a given layer list and policy always produce the same
+// schedule.
+package timeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource is an execution lane. The model has one compute pipe and one
+// network link per process, matching the paper's flat α–β machine.
+type Resource int
+
+const (
+	Compute Resource = iota
+	Network
+)
+
+func (r Resource) String() string {
+	switch r {
+	case Compute:
+		return "compute"
+	case Network:
+		return "network"
+	}
+	return fmt.Sprintf("Resource(%d)", int(r))
+}
+
+// Kind labels what an event models, so reports can name spans.
+type Kind int
+
+const (
+	FwdComp Kind = iota
+	BwdComp
+	AllGather  // forward activation all-gather (model parallelism)
+	FwdHalo    // forward input halo exchange (domain parallelism)
+	ActReduce  // backprop ∆X all-reduce (model parallelism)
+	GradReduce // ∆W all-reduce (batch parallelism)
+	BwdHalo    // backward output halo exchange (domain parallelism)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FwdComp:
+		return "fwd"
+	case BwdComp:
+		return "bwd"
+	case AllGather:
+		return "allgather"
+	case FwdHalo:
+		return "halo→"
+	case ActReduce:
+		return "∆X allred"
+	case GradReduce:
+		return "∆W allred"
+	case BwdHalo:
+		return "halo←"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one unit of work before scheduling.
+type Event struct {
+	ID       int
+	Layer    int // index into the Layer slice handed to Simulate
+	Name     string
+	Kind     Kind
+	Resource Resource
+	Duration float64
+	Deps     []int // event IDs that must complete before this event starts
+}
+
+// Span is a scheduled event.
+type Span struct {
+	Event
+	Start, End float64
+}
+
+// Simulate schedules events greedily on the two resources and returns the
+// spans in start order. An event becomes ready when all its dependencies
+// have completed; each resource runs one event at a time; among ready
+// events a resource picks the one with the earliest possible start time
+// (then earliest ready time, then lowest ID). The greedy schedule never
+// idles a resource that has ready work, which makes it the natural model
+// of an MPI progress engine draining a queue of posted operations.
+//
+// Durations must be non-negative (Simulate panics otherwise — shape/cost
+// validation fails loudly, as in internal/tensor) and the dependency
+// graph must be acyclic (an error is returned otherwise).
+func Simulate(events []Event) ([]Span, error) {
+	for i := range events {
+		if events[i].ID != i {
+			return nil, fmt.Errorf("timeline: event %d has ID %d; IDs must be dense and ordered", i, events[i].ID)
+		}
+		if events[i].Duration < 0 || math.IsNaN(events[i].Duration) {
+			panic(fmt.Sprintf("timeline: event %q has invalid duration %g", events[i].Name, events[i].Duration))
+		}
+		for _, d := range events[i].Deps {
+			if d < 0 || d >= len(events) {
+				return nil, fmt.Errorf("timeline: event %q depends on unknown event %d", events[i].Name, d)
+			}
+		}
+	}
+
+	end := make([]float64, len(events))
+	scheduled := make([]bool, len(events))
+	free := map[Resource]float64{Compute: 0, Network: 0}
+	spans := make([]Span, 0, len(events))
+
+	for len(spans) < len(events) {
+		// Pick, over all unscheduled events whose deps are scheduled, the
+		// one that can start earliest. Scheduling exactly one event per
+		// round keeps FIFO order on each resource correct: an event whose
+		// producer has not been scheduled yet cannot be ready earlier than
+		// the producer's own start.
+		best := -1
+		var bestStart, bestReady float64
+		for i := range events {
+			if scheduled[i] {
+				continue
+			}
+			ready := 0.0
+			ok := true
+			for _, d := range events[i].Deps {
+				if !scheduled[d] {
+					ok = false
+					break
+				}
+				if end[d] > ready {
+					ready = end[d]
+				}
+			}
+			if !ok {
+				continue
+			}
+			start := math.Max(ready, free[events[i].Resource])
+			if best == -1 || start < bestStart ||
+				(start == bestStart && ready < bestReady) {
+				best, bestStart, bestReady = i, start, ready
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("timeline: dependency cycle among %d unscheduled events", len(events)-len(spans))
+		}
+		e := events[best]
+		scheduled[best] = true
+		end[best] = bestStart + e.Duration
+		free[e.Resource] = end[best]
+		spans = append(spans, Span{Event: e, Start: bestStart, End: end[best]})
+	}
+	return spans, nil
+}
