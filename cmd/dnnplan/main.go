@@ -10,6 +10,9 @@
 //	dnnplan -net alexnet -B 512 -P 4096 -mode conv-domain
 //	dnnplan -net vgg16 -B 256 -P 64 -mode auto -overlap
 //	dnnplan -net alexnet -B 2048 -P 512 -policy backprop -gantt
+//	dnnplan -net alexnet -B 2048 -nodes 64 -ppn 8
+//	                           # two-level topology: 64 nodes × 8 ranks,
+//	                           # searches rank placement × grid
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 	"sort"
 
 	"dnnparallel/internal/experiments"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
 	"dnnparallel/internal/nn"
 	"dnnparallel/internal/planner"
 	"dnnparallel/internal/report"
@@ -35,6 +40,12 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print the best plan's per-layer schedule (needs -policy)")
 	alpha := flag.Float64("alpha", 2e-6, "network latency α (seconds)")
 	bwGB := flag.Float64("bw", 6, "network bandwidth 1/β (GB/s)")
+	ppn := flag.Int("ppn", 0, "ranks per node; > 0 enables the two-level intra-/inter-node topology")
+	nodes := flag.Int("nodes", 0, "node count (with -ppn, sets P = nodes × ppn)")
+	intraDefault := machine.CoriKNLNodes(1).Intra
+	intraAlpha := flag.Float64("intra-alpha", intraDefault.Alpha, "intra-node latency α (seconds; with -ppn)")
+	intraBwGB := flag.Float64("intra-bw", intraDefault.BandwidthBytes()/1e9, "intra-node bandwidth 1/β (GB/s; with -ppn)")
+	placementName := flag.String("placement", "", "pin the rank placement: row-major|col-major (default: search both)")
 	flag.Parse()
 
 	var net *nn.Network
@@ -90,32 +101,96 @@ func main() {
 	opts.Machine.Alpha = *alpha
 	opts.Machine.Beta = 4 / (*bwGB * 1e9)
 
+	if *nodes > 0 && *ppn <= 0 {
+		fmt.Fprintln(os.Stderr, "dnnplan: -nodes needs -ppn (ranks per node)")
+		os.Exit(2)
+	}
+	if *ppn <= 0 {
+		// The intra-node flags have non-trivial defaults, so detect an
+		// explicit setting rather than comparing values.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "intra-alpha" || f.Name == "intra-bw" {
+				fmt.Fprintf(os.Stderr, "dnnplan: -%s needs -ppn (intra-node link only exists on a two-level topology)\n", f.Name)
+				os.Exit(2)
+			}
+		})
+	}
+	if *ppn > 0 {
+		// Start from the canonical two-level Cori machine so the name
+		// format and intra-node defaults cannot drift from dnnsim's
+		// -ppn path, then apply the CLI's link overrides.
+		topo := machine.CoriKNLNodes(*ppn)
+		topo.Intra = machine.Link{Alpha: *intraAlpha, Beta: machine.WordBytes / (*intraBwGB * 1e9)}
+		topo.Inter = machine.Link{Alpha: opts.Machine.Alpha, Beta: opts.Machine.Beta}
+		topo.PeakFlops = opts.Machine.PeakFlops
+		opts.Topology = topo
+		if *nodes > 0 {
+			explicitP := false
+			flag.Visit(func(f *flag.Flag) { explicitP = explicitP || f.Name == "P" })
+			if explicitP && *procs != *nodes**ppn {
+				fmt.Fprintf(os.Stderr, "dnnplan: -P %d conflicts with -nodes %d × -ppn %d = %d\n",
+					*procs, *nodes, *ppn, *nodes**ppn)
+				os.Exit(2)
+			}
+			*procs = *nodes * *ppn
+		}
+	}
+	if *placementName != "" {
+		if *ppn <= 0 {
+			fmt.Fprintln(os.Stderr, "dnnplan: -placement needs -ppn (placement only matters on a two-level topology)")
+			os.Exit(2)
+		}
+		pl, err := grid.ParsePlacement(*placementName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnnplan:", err)
+			os.Exit(2)
+		}
+		opts.Placements = []grid.Placement{pl}
+	}
+
 	res, err := planner.Optimize(net, *batch, *procs, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnnplan:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s, B=%d, P=%d, mode=%v, machine=%s\n\n", net.Name, *batch, *procs, mode, opts.Machine)
+	topoAware := !opts.Topology.IsZero()
+	machineDesc := opts.Machine.String()
+	if topoAware {
+		machineDesc = opts.Topology.String()
+	}
+	fmt.Printf("%s, B=%d, P=%d, mode=%v, machine=%s\n\n", net.Name, *batch, *procs, mode, machineDesc)
+	header := []string{"Grid"}
+	if topoAware {
+		header = append(header, "place")
+	}
+	header = append(header, "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch", "")
 	var rows [][]string
 	for _, p := range res.All {
+		row := []string{p.Grid.String()}
+		if topoAware {
+			if p.Feasible {
+				row = append(row, p.Placement.String())
+			} else {
+				row = append(row, "-")
+			}
+		}
 		if !p.Feasible {
-			rows = append(rows, []string{p.Grid.String(), "-", "-", "-", "-", "-", "infeasible: " + p.Reason})
-			continue
+			row = append(row, "-", "-", "-", "-", "-", "infeasible: "+p.Reason)
+		} else {
+			note := ""
+			if p.Grid == res.Best.Grid {
+				note = "← best"
+			}
+			row = append(row,
+				report.F(p.CommSeconds), report.F(p.CompSeconds),
+				report.F(p.ExposedCommSeconds),
+				report.F(p.IterSeconds), report.F(p.EpochSeconds),
+				note)
 		}
-		note := ""
-		if p.Grid == res.Best.Grid {
-			note = "← best"
-		}
-		rows = append(rows, []string{
-			p.Grid.String(),
-			report.F(p.CommSeconds), report.F(p.CompSeconds),
-			report.F(p.ExposedCommSeconds),
-			report.F(p.IterSeconds), report.F(p.EpochSeconds),
-			note,
-		})
+		rows = append(rows, row)
 	}
-	fmt.Print(report.Table([]string{"Grid", "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch", ""}, rows))
+	fmt.Print(report.Table(header, rows))
 
 	if total, comm := res.Speedup(); total > 0 {
 		fmt.Printf("\nSpeedup vs pure batch (1x%d): %.2fx total, %.2fx communication\n", *procs, total, comm)
@@ -123,7 +198,12 @@ func main() {
 		fmt.Printf("\nPure batch (1x%d) is infeasible at B=%d — the beyond-batch regime of Fig. 10.\n", *procs, *batch)
 	}
 
-	fmt.Printf("\nPer-layer strategy of the best plan (grid %v):\n", res.Best.Grid)
+	if topoAware {
+		fmt.Printf("\nPer-layer strategy of the best plan (grid %v, placement %v):\n",
+			res.Best.Grid, res.Best.Placement)
+	} else {
+		fmt.Printf("\nPer-layer strategy of the best plan (grid %v):\n", res.Best.Grid)
+	}
 	var lis []int
 	for li := range res.Best.Assignment {
 		lis = append(lis, li)
@@ -141,8 +221,8 @@ func main() {
 	fmt.Print(report.Table([]string{"Layer", "Kind", "Output", "|W|", "Strategy"}, srows))
 
 	if *gantt && res.Best.Timeline != nil {
-		fmt.Printf("\nPer-layer schedule, grid %v, policy %v (█ compute, ▒ network):\n",
-			res.Best.Grid, opts.TimelinePolicy)
+		fmt.Printf("\nPer-layer schedule, grid %v, policy %v (%s):\n",
+			res.Best.Grid, opts.TimelinePolicy, experiments.GanttLegend(res.Best.Timeline))
 		fmt.Print(report.Gantt("", experiments.GanttSpans(res.Best.Timeline), 64))
 		fmt.Printf("makespan %ss, exposed comm %ss, drain %ss\n",
 			report.F(res.Best.Timeline.Makespan),

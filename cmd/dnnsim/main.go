@@ -10,6 +10,8 @@
 //	dnnsim -exp fig6 -B 1024   # override the batch size
 //	dnnsim -exp timeline -policy backprop -B 2048 -P 512
 //	                           # per-layer event-driven overlap timeline
+//	dnnsim -exp fig6 -nodes 64 -ppn 8
+//	                           # two-level topology: 64 nodes × 8 ranks/node
 package main
 
 import (
@@ -35,9 +37,27 @@ func main() {
 	ps := flag.String("P", "", "comma-separated process counts (defaults per experiment)")
 	policy := flag.String("policy", "backprop", "overlap policy for -exp timeline: none|backprop|full")
 	calibrate := flag.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
+	ppn := flag.Int("ppn", 0, "ranks per node; > 0 makes the planner-backed experiments (fig6–10, timeline, memory) price against the two-level Cori topology (10× intra-node bandwidth) and search rank placements; single-process and sweep experiments (fig4, eq5, sensitivity) are unaffected")
+	nodes := flag.Int("nodes", 0, "node count (with -ppn, defaults the process counts to nodes × ppn)")
 	flag.Parse()
 
 	s := experiments.Default()
+	if *nodes > 0 && *ppn <= 0 {
+		fmt.Fprintln(os.Stderr, "dnnsim: -nodes needs -ppn (ranks per node)")
+		os.Exit(2)
+	}
+	if *ppn > 0 {
+		s.Topology = machine.CoriKNLNodes(*ppn)
+		if *nodes > 0 {
+			want := strconv.Itoa(*nodes * *ppn)
+			if *ps != "" && *ps != want {
+				fmt.Fprintf(os.Stderr, "dnnsim: -P %s conflicts with -nodes %d × -ppn %d = %s\n",
+					*ps, *nodes, *ppn, want)
+				os.Exit(2)
+			}
+			*ps = want
+		}
+	}
 	if *calibrate {
 		s.Compute = compute.CalibrateLocal(192, time.Second)
 		fmt.Printf("calibrated local compute model: peak·eff ≈ %.3g FLOP/s, half-speed batch ≈ %.1f\n\n",

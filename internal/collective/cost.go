@@ -22,19 +22,38 @@ import (
 type Cost struct {
 	Latency   float64 // seconds spent in per-message latency (α terms)
 	Bandwidth float64 // seconds spent moving words (β terms)
+
+	// Intra and Inter attribute the total to the two link levels of a
+	// hierarchical machine.Topology. Flat costs (and costs priced on a
+	// uniform topology) leave both zero — the whole total belongs to the
+	// machine's single link; topology-aware costs satisfy
+	// Intra + Inter = Total() (up to rounding), and the timeline
+	// simulator schedules each portion on its own link resource.
+	Intra float64
+	Inter float64
 }
 
 // Total returns latency + bandwidth seconds.
 func (c Cost) Total() float64 { return c.Latency + c.Bandwidth }
 
+// Leveled reports whether the cost carries an intra-/inter-node
+// attribution (i.e. was priced against a non-uniform topology).
+func (c Cost) Leveled() bool { return c.Intra != 0 || c.Inter != 0 }
+
 // Add returns the element-wise sum of two costs.
 func (c Cost) Add(d Cost) Cost {
-	return Cost{Latency: c.Latency + d.Latency, Bandwidth: c.Bandwidth + d.Bandwidth}
+	return Cost{
+		Latency: c.Latency + d.Latency, Bandwidth: c.Bandwidth + d.Bandwidth,
+		Intra: c.Intra + d.Intra, Inter: c.Inter + d.Inter,
+	}
 }
 
 // Scale returns the cost multiplied by s (e.g. iterations per epoch).
 func (c Cost) Scale(s float64) Cost {
-	return Cost{Latency: c.Latency * s, Bandwidth: c.Bandwidth * s}
+	return Cost{
+		Latency: c.Latency * s, Bandwidth: c.Bandwidth * s,
+		Intra: c.Intra * s, Inter: c.Inter * s,
+	}
 }
 
 // CeilLog2 returns ⌈log2 p⌉ with CeilLog2(1) = 0, as used in the paper's

@@ -1,0 +1,162 @@
+// Topology-aware collective costs: the same Eqs. 3–9 primitives priced
+// against a two-level machine.Topology and the node span of the actual
+// collective group (grid.NodeSpan) instead of a flat α–β machine.
+//
+// Three group shapes arise (Section 2.3's Pr/Pc groups under a rank
+// placement):
+//
+//   - intra (all ranks on one node): the flat formula on the Intra link;
+//   - inter (one rank per node): the flat formula on the Inter link;
+//   - mixed: a hierarchical decomposition — e.g. all-reduce = intra-node
+//     reduce-scatter + inter-node all-reduce of the node-local shard +
+//     intra-node all-gather (Rabenseifner's algorithm on a fat-node
+//     machine). For balanced spans the bandwidth terms telescope back to
+//     the flat (p−1)/p factor when both links are equal, so the
+//     hierarchy prices congestion, not extra volume; only the latency
+//     term grows (⌈log m⌉ + ⌈log nodes⌉ ≥ ⌈log p⌉).
+//
+// A uniform topology (identical links — machine.Flat embeddings) always
+// takes the flat closed form, bit-for-bit: topology-aware pricing is a
+// strict refinement, never a perturbation, of the paper's model.
+//
+// Results carry their per-level attribution in Cost.Intra/Cost.Inter so
+// the timeline simulator can schedule the two link levels as separate
+// contended resources.
+package collective
+
+import (
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+)
+
+// onLink is the flat-machine view of one link level, for reusing the
+// closed forms level by level.
+func onLink(l machine.Link) machine.Machine {
+	return machine.Machine{Alpha: l.Alpha, Beta: l.Beta}
+}
+
+// atLevel attributes a single-level cost to the intra- or inter-node link.
+func atLevel(c Cost, intra bool) Cost {
+	if intra {
+		c.Intra = c.Total()
+	} else {
+		c.Inter = c.Total()
+	}
+	return c
+}
+
+// AllGatherTopo prices the all-gather of words total words over a group
+// with node span s. Mixed groups decompose into an intra-node all-gather
+// of the node-local chunk followed by inter-node all-gathers running in
+// parallel across the node's rank planes.
+func AllGatherTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost {
+	if s.Ranks <= 1 {
+		return Cost{}
+	}
+	if t.Uniform() {
+		return AllGather(s.Ranks, words, t.Machine())
+	}
+	if s.Intra() {
+		return atLevel(AllGather(s.Ranks, words, onLink(t.Intra)), true)
+	}
+	if s.Inter() {
+		return atLevel(AllGather(s.Ranks, words, onLink(t.Inter)), false)
+	}
+	// Largest node chunk: words·MaxPerNode/p.
+	intra := atLevel(AllGather(s.MaxPerNode, words*float64(s.MaxPerNode)/float64(s.Ranks), onLink(t.Intra)), true)
+	inter := atLevel(AllGather(s.Nodes, words, onLink(t.Inter)), false)
+	return intra.Add(inter)
+}
+
+// AllReduceTopo prices the all-reduce of words words over a group with
+// node span s. Mixed groups pay the hierarchical form: intra-node
+// reduce-scatter, inter-node all-reduce of the per-rank shard (sized by
+// the thinnest node, whose ranks hold the largest shards), intra-node
+// all-gather.
+func AllReduceTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost {
+	if s.Ranks <= 1 {
+		return Cost{}
+	}
+	if t.Uniform() {
+		return AllReduce(s.Ranks, words, t.Machine())
+	}
+	if s.Intra() {
+		return atLevel(AllReduce(s.Ranks, words, onLink(t.Intra)), true)
+	}
+	if s.Inter() {
+		return atLevel(AllReduce(s.Ranks, words, onLink(t.Inter)), false)
+	}
+	intra := atLevel(ReduceScatter(s.MaxPerNode, words, onLink(t.Intra)).
+		Add(AllGather(s.MaxPerNode, words, onLink(t.Intra))), true)
+	inter := atLevel(AllReduce(s.Nodes, words/float64(s.MinPerNode), onLink(t.Inter)), false)
+	return intra.Add(inter)
+}
+
+// ReduceScatterTopo prices the reduce-scatter half of the hierarchical
+// all-reduce on its own.
+func ReduceScatterTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost {
+	if s.Ranks <= 1 {
+		return Cost{}
+	}
+	if t.Uniform() {
+		return ReduceScatter(s.Ranks, words, t.Machine())
+	}
+	if s.Intra() {
+		return atLevel(ReduceScatter(s.Ranks, words, onLink(t.Intra)), true)
+	}
+	if s.Inter() {
+		return atLevel(ReduceScatter(s.Ranks, words, onLink(t.Inter)), false)
+	}
+	intra := atLevel(ReduceScatter(s.MaxPerNode, words, onLink(t.Intra)), true)
+	inter := atLevel(ReduceScatter(s.Nodes, words/float64(s.MinPerNode), onLink(t.Inter)), false)
+	return intra.Add(inter)
+}
+
+// BroadcastTopo prices the binomial broadcast over a group with node
+// span s: mixed groups broadcast once across node leaders, then fan out
+// inside each node.
+func BroadcastTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost {
+	if s.Ranks <= 1 {
+		return Cost{}
+	}
+	if t.Uniform() {
+		return Broadcast(s.Ranks, words, t.Machine())
+	}
+	if s.Intra() {
+		return atLevel(Broadcast(s.Ranks, words, onLink(t.Intra)), true)
+	}
+	if s.Inter() {
+		return atLevel(Broadcast(s.Ranks, words, onLink(t.Inter)), false)
+	}
+	inter := atLevel(Broadcast(s.Nodes, words, onLink(t.Inter)), false)
+	intra := atLevel(Broadcast(s.MaxPerNode, words, onLink(t.Intra)), true)
+	return inter.Add(intra)
+}
+
+// PointToPointTopo prices one pairwise message of words words: α + β·n
+// on the intra link when both endpoints share a node, on the inter link
+// otherwise.
+func PointToPointTopo(sameNode bool, words float64, t machine.Topology) Cost {
+	if t.Uniform() {
+		return PointToPoint(words, t.Machine())
+	}
+	if sameNode {
+		return atLevel(PointToPoint(words, onLink(t.Intra)), true)
+	}
+	return atLevel(PointToPoint(words, onLink(t.Inter)), false)
+}
+
+// MaxCost returns the most expensive of pricing one collective over each
+// distinct group span — the span that governs a bulk-synchronous step
+// whose groups straddle node boundaries unevenly. Ties keep the first
+// span (the dedupe order of grid.*GroupSpans is deterministic).
+func MaxCost(spans []grid.NodeSpan, price func(grid.NodeSpan) Cost) Cost {
+	var worst Cost
+	for i, s := range spans {
+		c := price(s)
+		if i == 0 || c.Total() > worst.Total() {
+			worst = c
+		}
+	}
+	return worst
+}

@@ -1,0 +1,200 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+)
+
+// span builds a balanced NodeSpan of p ranks over nodes of m each.
+func span(p, nodes, maxPer, minPer int) grid.NodeSpan {
+	return grid.NodeSpan{Ranks: p, Nodes: nodes, MaxPerNode: maxPer, MinPerNode: minPer}
+}
+
+// A uniform topology must reproduce the flat closed forms bit-for-bit,
+// whatever the span says — the flat machine is the one-level special
+// case, not an approximation.
+func TestUniformTopologyIsExactlyFlat(t *testing.T) {
+	m := machine.CoriKNL()
+	topo := machine.Flat(m)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := 1 + rng.Intn(64)
+		nodes := 1 + rng.Intn(p)
+		maxPer := (p + nodes - 1) / nodes
+		s := span(p, nodes, maxPer, p/nodes)
+		words := rng.Float64() * 1e7
+		checks := []struct {
+			name       string
+			flat, topo Cost
+		}{
+			{"all-gather", AllGather(p, words, m), AllGatherTopo(s, words, topo)},
+			{"all-reduce", AllReduce(p, words, m), AllReduceTopo(s, words, topo)},
+			{"reduce-scatter", ReduceScatter(p, words, m), ReduceScatterTopo(s, words, topo)},
+			{"broadcast", Broadcast(p, words, m), BroadcastTopo(s, words, topo)},
+			{"p2p", PointToPoint(words, m), PointToPointTopo(rng.Intn(2) == 0, words, topo)},
+		}
+		for _, c := range checks {
+			if c.flat != c.topo {
+				t.Fatalf("%s (p=%d words=%g): uniform topo %+v != flat %+v", c.name, p, words, c.topo, c.flat)
+			}
+			if c.topo.Leveled() {
+				t.Fatalf("%s: uniform topology must not carry a level split, got %+v", c.name, c.topo)
+			}
+		}
+	}
+}
+
+// Single-level groups use the matching link's constants and carry the
+// matching attribution.
+func TestSingleLevelClassification(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	const words = 1e6
+
+	intra := AllReduceTopo(span(4, 1, 4, 4), words, topo)
+	wantIntra := AllReduce(4, words, machine.Machine{Alpha: topo.Intra.Alpha, Beta: topo.Intra.Beta})
+	if intra.Total() != wantIntra.Total() || intra.Intra != intra.Total() || intra.Inter != 0 {
+		t.Fatalf("intra group: got %+v, want total %g all on the intra link", intra, wantIntra.Total())
+	}
+
+	inter := AllReduceTopo(span(4, 4, 1, 1), words, topo)
+	wantInter := AllReduce(4, words, topo.Machine())
+	if inter.Total() != wantInter.Total() || inter.Inter != inter.Total() || inter.Intra != 0 {
+		t.Fatalf("inter group: got %+v, want total %g all on the inter link", inter, wantInter.Total())
+	}
+	if intra.Total() >= inter.Total() {
+		t.Fatalf("intra-node all-reduce (%g) must beat inter-node (%g) on a 10x-bandwidth node", intra.Total(), inter.Total())
+	}
+}
+
+// Hand-computed hierarchical all-reduce: 8 ranks as 2 nodes × 4, n words.
+// intra: reduce-scatter + all-gather over 4 = 2(α_i·2 + β_i·(3/4)n);
+// inter: all-reduce over 2 nodes of n/4 = 2(α_I·1 + β_I·(1/2)(n/4)).
+func TestHierarchicalAllReduceHandComputed(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	ai, bi := topo.Intra.Alpha, topo.Intra.Beta
+	aI, bI := topo.Inter.Alpha, topo.Inter.Beta
+	const n = 4e6
+
+	got := AllReduceTopo(span(8, 2, 4, 4), n, topo)
+	wantIntra := 2 * (ai*2 + bi*(3.0/4.0)*n)
+	wantInter := 2 * (aI*1 + bI*0.5*(n/4))
+	if math.Abs(got.Intra-wantIntra) > 1e-15*wantIntra {
+		t.Fatalf("intra portion = %g, want %g", got.Intra, wantIntra)
+	}
+	if math.Abs(got.Inter-wantInter) > 1e-15*wantInter {
+		t.Fatalf("inter portion = %g, want %g", got.Inter, wantInter)
+	}
+	if math.Abs(got.Total()-(wantIntra+wantInter)) > 1e-15*got.Total() {
+		t.Fatalf("total = %g, want %g", got.Total(), wantIntra+wantInter)
+	}
+}
+
+// For balanced spans the hierarchical bandwidth term telescopes to the
+// flat (p−1)/p factor when both links share β: the decomposition adds
+// latency steps, never volume.
+func TestHierarchicalBandwidthConservation(t *testing.T) {
+	m := machine.CoriKNL()
+	// Same β at both levels, but zero latency so only bandwidth shows;
+	// differing alphas keep the topology non-uniform.
+	topo := machine.Topology{
+		Name:         "beta-equal",
+		Intra:        machine.Link{Alpha: 0, Beta: m.Beta},
+		Inter:        machine.Link{Alpha: 1e-6, Beta: m.Beta},
+		RanksPerNode: 4, PeakFlops: 1,
+	}
+	const words = 1e6
+	for _, c := range []struct{ p, nodes, per int }{{8, 2, 4}, {16, 4, 4}, {64, 16, 4}, {6, 3, 2}} {
+		s := span(c.p, c.nodes, c.per, c.per)
+		flat := AllReduce(c.p, words, m).Bandwidth
+		got := AllReduceTopo(s, words, topo).Bandwidth
+		if math.Abs(got-flat) > 1e-12*flat {
+			t.Fatalf("all-reduce %d=%dx%d: hierarchical bandwidth %g != flat %g", c.p, c.nodes, c.per, got, flat)
+		}
+		flat = AllGather(c.p, words, m).Bandwidth
+		got = AllGatherTopo(s, words, topo).Bandwidth
+		if math.Abs(got-flat) > 1e-12*flat {
+			t.Fatalf("all-gather %d=%dx%d: hierarchical bandwidth %g != flat %g", c.p, c.nodes, c.per, got, flat)
+		}
+		flat = ReduceScatter(c.p, words, m).Bandwidth
+		got = ReduceScatterTopo(s, words, topo).Bandwidth
+		if math.Abs(got-flat) > 1e-12*flat {
+			t.Fatalf("reduce-scatter %d=%dx%d: hierarchical bandwidth %g != flat %g", c.p, c.nodes, c.per, got, flat)
+		}
+	}
+}
+
+// Every leveled cost's attribution must add up to its total.
+func TestLevelAttributionSumsToTotal(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nodes := 1 + rng.Intn(8)
+		per := 1 + rng.Intn(4)
+		s := span(nodes*per, nodes, per, per)
+		words := rng.Float64() * 1e6
+		for name, c := range map[string]Cost{
+			"all-gather":     AllGatherTopo(s, words, topo),
+			"all-reduce":     AllReduceTopo(s, words, topo),
+			"reduce-scatter": ReduceScatterTopo(s, words, topo),
+			"broadcast":      BroadcastTopo(s, words, topo),
+		} {
+			if s.Ranks > 1 && !c.Leveled() {
+				t.Fatalf("%s on non-uniform topology must be leveled: %+v", name, c)
+			}
+			if d := math.Abs(c.Intra + c.Inter - c.Total()); d > 1e-12*math.Max(c.Total(), 1e-300) {
+				t.Fatalf("%s: Intra %g + Inter %g != Total %g", name, c.Intra, c.Inter, c.Total())
+			}
+		}
+	}
+}
+
+// P2P classification: same-node pairs ride the intra link.
+func TestPointToPointTopo(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	const words = 1e5
+	same := PointToPointTopo(true, words, topo)
+	cross := PointToPointTopo(false, words, topo)
+	if same.Total() >= cross.Total() {
+		t.Fatalf("same-node p2p %g must beat cross-node %g", same.Total(), cross.Total())
+	}
+	if same.Intra != same.Total() || cross.Inter != cross.Total() {
+		t.Fatalf("p2p attribution wrong: same=%+v cross=%+v", same, cross)
+	}
+	want := topo.Inter.Alpha + topo.Inter.Beta*words
+	if math.Abs(cross.Total()-want) > 1e-18 {
+		t.Fatalf("cross-node p2p = %g, want %g", cross.Total(), want)
+	}
+}
+
+// MaxCost picks the governing span.
+func TestMaxCost(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	spans := []grid.NodeSpan{span(4, 1, 4, 4), span(4, 4, 1, 1)}
+	got := MaxCost(spans, func(s grid.NodeSpan) Cost { return AllReduceTopo(s, 1e6, topo) })
+	want := AllReduceTopo(spans[1], 1e6, topo)
+	if got != want {
+		t.Fatalf("MaxCost picked %+v, want the inter-node span's %+v", got, want)
+	}
+	if (MaxCost(nil, nil) != Cost{}) {
+		t.Fatal("MaxCost(nil) must be the zero cost")
+	}
+}
+
+// Mixed groups on a degenerate "all latency" topology still satisfy the
+// zero-size and singleton edge cases.
+func TestTopoEdgeCases(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	for name, c := range map[string]Cost{
+		"empty all-reduce":     AllReduceTopo(grid.NodeSpan{}, 1e6, topo),
+		"singleton all-gather": AllGatherTopo(span(1, 1, 1, 1), 1e6, topo),
+		"singleton broadcast":  BroadcastTopo(span(1, 1, 1, 1), 1e6, topo),
+	} {
+		if (c != Cost{}) {
+			t.Fatalf("%s: want zero cost, got %+v", name, c)
+		}
+	}
+}

@@ -129,14 +129,21 @@ func (b *Breakdown) BackwardSeconds() float64 {
 //	T = Σ_{i=1..L} (α⌈log P⌉ + β·B·(P−1)/P·d_i)
 //	  + 2·Σ_{i=2..L} (α⌈log P⌉ + β·B·(P−1)/P·d_{i−1})
 func PureModel(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
+	return FlatEnv(m).PureModel(net, B, P)
+}
+
+// PureModel is Eq. 3 priced against the environment's topology: the
+// P-wide all-gather/all-reduce groups span the whole machine.
+func (e Env) PureModel(net *nn.Network, B, P int) *Breakdown {
 	b := &Breakdown{Desc: fmt.Sprintf("pure model, P=%d, B=%d", P, B)}
+	pr := e.pricerFor(grid.Grid{Pr: P, Pc: 1})
 	widx := net.WeightedLayers()
 	for k, li := range widx {
 		l := &net.Layers[li]
 		lc := LayerCost{Index: li, Name: l.Name, Strategy: Model}
-		lc.AllGather = collective.AllGather(P, float64(B)*float64(l.OutSize()), m)
+		lc.AllGather = pr.colAllGather(float64(B) * float64(l.OutSize()))
 		if k > 0 { // no ∆X beyond the first layer
-			lc.ActReduce = collective.AllReduce(P, float64(B)*float64(l.InSize()), m)
+			lc.ActReduce = pr.colAllReduce(float64(B) * float64(l.InSize()))
 		}
 		b.Layers = append(b.Layers, lc)
 	}
@@ -147,11 +154,17 @@ func PureModel(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
 //
 //	T = 2·Σ_i (α⌈log P⌉ + β·(P−1)/P·|W_i|)
 func PureBatch(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
+	return FlatEnv(m).PureBatch(net, B, P)
+}
+
+// PureBatch is Eq. 4 priced against the environment's topology.
+func (e Env) PureBatch(net *nn.Network, B, P int) *Breakdown {
 	b := &Breakdown{Desc: fmt.Sprintf("pure batch, P=%d, B=%d", P, B)}
+	pr := e.pricerFor(grid.Grid{Pr: 1, Pc: P})
 	for _, li := range net.WeightedLayers() {
 		l := &net.Layers[li]
 		lc := LayerCost{Index: li, Name: l.Name, Strategy: BatchOnly}
-		lc.GradReduce = collective.AllReduce(P, float64(l.Weights()), m)
+		lc.GradReduce = pr.allAllReduce(float64(l.Weights()))
 		b.Layers = append(b.Layers, lc)
 	}
 	return b
@@ -162,8 +175,14 @@ func PureBatch(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
 // all-gather of B·d_i words over P processes. The paper notes this is
 // asymptotically free relative to the subsequent model-parallel step.
 func Redistribute(net *nn.Network, li, B, P int, m machine.Machine) collective.Cost {
+	return FlatEnv(m).Redistribute(net, li, B, P)
+}
+
+// Redistribute is Eq. 6 priced against the environment's topology.
+func (e Env) Redistribute(net *nn.Network, li, B, P int) collective.Cost {
 	l := &net.Layers[li]
-	return collective.AllGather(P, float64(B)*float64(l.OutSize()), m)
+	pr := e.pricerFor(grid.Grid{Pr: P, Pc: 1})
+	return pr.colAllGather(float64(B) * float64(l.OutSize()))
 }
 
 // PureDomain returns Eq. 7: domain parallelism over P processes. Each
@@ -179,12 +198,19 @@ func Redistribute(net *nn.Network, li, B, P int, m machine.Machine) collective.C
 // output (backward) activation block, which is why domain parallelism is
 // never chosen for FC layers.
 func PureDomain(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
+	return FlatEnv(m).PureDomain(net, B, P)
+}
+
+// PureDomain is Eq. 7 priced against the environment's topology: halo
+// partners are spatially adjacent machine ranks, the gradient all-reduce
+// spans the whole machine.
+func (e Env) PureDomain(net *nn.Network, B, P int) *Breakdown {
 	b := &Breakdown{Desc: fmt.Sprintf("pure domain, P=%d, B=%d", P, B)}
+	// Pure domain does not split the batch (Pc = 1): every process holds
+	// a slab of all B samples, so halo volumes carry the full B of Eq. 7.
+	pr := e.pricerFor(grid.Grid{Pr: P, Pc: 1})
 	for _, li := range net.WeightedLayers() {
-		// Pure domain does not split the batch (Pc = 1): every process
-		// holds a slab of all B samples, so halo volumes carry the full B
-		// of Eq. 7.
-		b.Layers = append(b.Layers, domainLayerCost(net, li, B, 1, P, m))
+		b.Layers = append(b.Layers, domainLayerCost(net, li, B, pr))
 	}
 	return b
 }
@@ -192,26 +218,26 @@ func PureDomain(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
 // domainLayerCost is the Eq. 7 / Eq. 9 per-layer domain cost with halo
 // volumes scaled by the local batch B/Pc and the gradient all-reduce over
 // all P processes.
-func domainLayerCost(net *nn.Network, li, B, pc, pTotal int, m machine.Machine) LayerCost {
+func domainLayerCost(net *nn.Network, li, B int, pr *pricer) LayerCost {
 	l := &net.Layers[li]
 	lc := LayerCost{Index: li, Name: l.Name, Strategy: Domain}
-	localB := float64(B) / float64(pc)
+	localB := float64(B) / float64(pr.g.Pc)
 	switch l.Kind {
 	case nn.Conv:
 		fwdHalo := localB * float64(l.In.W*l.In.C) * float64(l.KH/2)
 		bwdHalo := localB * float64(l.Out.W*l.Out.C) * float64(l.KW/2)
 		if fwdHalo > 0 {
-			lc.FwdHalo = collective.PointToPoint(fwdHalo, m)
+			lc.FwdHalo = pr.halo(fwdHalo)
 		}
 		if bwdHalo > 0 {
-			lc.BwdHalo = collective.PointToPoint(bwdHalo, m)
+			lc.BwdHalo = pr.halo(bwdHalo)
 		}
 	case nn.FC:
 		// Whole input forward, whole output gradient backward.
-		lc.FwdHalo = collective.PointToPoint(localB*float64(l.InSize()), m)
-		lc.BwdHalo = collective.PointToPoint(localB*float64(l.OutSize()), m)
+		lc.FwdHalo = pr.halo(localB * float64(l.InSize()))
+		lc.BwdHalo = pr.halo(localB * float64(l.OutSize()))
 	}
-	lc.GradReduce = collective.AllReduce(pTotal, float64(l.Weights()), m)
+	lc.GradReduce = pr.allAllReduce(float64(l.Weights()))
 	return lc
 }
 
@@ -225,34 +251,42 @@ func domainLayerCost(net *nn.Network, li, B, pc, pTotal int, m machine.Machine) 
 // With Pr = 1 it reduces exactly to Eq. 4; with Pc = 1 the first two sums
 // are exactly Eq. 3 and the third vanishes.
 func Integrated(net *nn.Network, B int, g grid.Grid, m machine.Machine) *Breakdown {
+	return FlatEnv(m).Integrated(net, B, g)
+}
+
+// Integrated is Eq. 8 priced against the environment's topology: the
+// all-gather/∆X groups are the placement's column groups, the ∆W groups
+// its row groups.
+func (e Env) Integrated(net *nn.Network, B int, g grid.Grid) *Breakdown {
 	b := &Breakdown{Desc: fmt.Sprintf("integrated 1.5D, grid=%v, B=%d", g, B)}
+	pr := e.pricerFor(g)
 	widx := net.WeightedLayers()
 	for k, li := range widx {
-		b.Layers = append(b.Layers, modelLayerCost(net, li, B, g, m, k == 0))
+		b.Layers = append(b.Layers, modelLayerCost(net, li, B, pr, k == 0))
 	}
 	return b
 }
 
 // modelLayerCost is the Eq. 8 per-layer cost for a layer in L_M.
-func modelLayerCost(net *nn.Network, li, B int, g grid.Grid, m machine.Machine, first bool) LayerCost {
+func modelLayerCost(net *nn.Network, li, B int, pr *pricer, first bool) LayerCost {
 	l := &net.Layers[li]
 	lc := LayerCost{Index: li, Name: l.Name, Strategy: Model}
-	localB := float64(B) / float64(g.Pc)
-	lc.AllGather = collective.AllGather(g.Pr, localB*float64(l.OutSize()), m)
+	localB := float64(B) / float64(pr.g.Pc)
+	lc.AllGather = pr.colAllGather(localB * float64(l.OutSize()))
 	if !first {
-		lc.ActReduce = collective.AllReduce(g.Pr, localB*float64(l.InSize()), m)
+		lc.ActReduce = pr.colAllReduce(localB * float64(l.InSize()))
 	}
-	lc.GradReduce = collective.AllReduce(g.Pc, float64(l.Weights())/float64(g.Pr), m)
+	lc.GradReduce = pr.rowAllReduce(float64(l.Weights()) / float64(pr.g.Pr))
 	return lc
 }
 
 // batchOnlyLayerCost is the Fig. 7 per-layer cost for a conv layer forced
 // to pure batch parallelism across all P processes.
-func batchOnlyLayerCost(net *nn.Network, li, pTotal int, m machine.Machine) LayerCost {
+func batchOnlyLayerCost(net *nn.Network, li int, pr *pricer) LayerCost {
 	l := &net.Layers[li]
 	return LayerCost{
 		Index: li, Name: l.Name, Strategy: BatchOnly,
-		GradReduce: collective.AllReduce(pTotal, float64(l.Weights()), m),
+		GradReduce: pr.allAllReduce(float64(l.Weights())),
 	}
 }
 
@@ -292,9 +326,14 @@ func ConvAssignment(net *nn.Network, convStrategy, fcStrategy Strategy) Assignme
 // local batch B/Pc plus a full-P gradient all-reduce; BatchOnly layers pay
 // only the full-P gradient all-reduce.
 func FullIntegrated(net *nn.Network, B int, g grid.Grid, assign Assignment, m machine.Machine) *Breakdown {
+	return FlatEnv(m).FullIntegrated(net, B, g, assign)
+}
+
+// FullIntegrated is Eq. 9 priced against the environment's topology.
+func (e Env) FullIntegrated(net *nn.Network, B int, g grid.Grid, assign Assignment) *Breakdown {
 	b := &Breakdown{Desc: fmt.Sprintf("full integrated, grid=%v, B=%d", g, B)}
+	pr := e.pricerFor(g)
 	widx := net.WeightedLayers()
-	firstModel := true
 	for _, li := range widx {
 		s := Model
 		if assign != nil {
@@ -304,15 +343,47 @@ func FullIntegrated(net *nn.Network, B int, g grid.Grid, assign Assignment, m ma
 		}
 		switch s {
 		case Model:
-			b.Layers = append(b.Layers, modelLayerCost(net, li, B, g, m, firstModel && li == widx[0]))
-			firstModel = false
+			// Only the network's very first weighted layer skips the ∆X
+			// all-reduce (no gradient propagates past layer 1). A Model
+			// layer that merely comes first *within L_M* — e.g. when the
+			// leading conv layers are Domain — still pays it, because its
+			// ∆X must reach the domain-parallel layer below.
+			b.Layers = append(b.Layers, modelLayerCost(net, li, B, pr, li == widx[0]))
 		case Domain:
-			b.Layers = append(b.Layers, domainLayerCost(net, li, B, g.Pc, g.P(), m))
+			b.Layers = append(b.Layers, domainLayerCost(net, li, B, pr))
 		case BatchOnly:
-			b.Layers = append(b.Layers, batchOnlyLayerCost(net, li, g.P(), m))
+			b.Layers = append(b.Layers, batchOnlyLayerCost(net, li, pr))
 		}
 	}
 	return b
+}
+
+// RedistributionSeconds prices the Eq. 6 redistribution at every layer
+// boundary where the strategy changes: the activations must be
+// re-laid-out from the upstream distribution into the replicated panels
+// the model-parallel layers consume. On a Pr × Pc grid this is a
+// column-group all-gather of the local activation panel — α⌈log Pr⌉ +
+// β·(B/Pc)·(Pr−1)/Pr·d_i per boundary (Eq. 6 with P = Pr on the local
+// batch; the paper's pure-model form is the Pc = 1 special case) —
+// charged once forward and once for the transposed backward
+// redistribution. With Pr = 1 the layout is already compatible and the
+// cost vanishes.
+func (e Env) RedistributionSeconds(net *nn.Network, B int, g grid.Grid, assign Assignment) float64 {
+	if g.Pr == 1 {
+		return 0
+	}
+	pr := e.pricerFor(g)
+	widx := net.WeightedLayers()
+	var secs float64
+	for k := 1; k < len(widx); k++ {
+		prev, cur := assign[widx[k-1]], assign[widx[k]]
+		if prev == cur {
+			continue
+		}
+		words := float64(B) / float64(g.Pc) * float64(net.Layers[widx[k-1]].OutSize())
+		secs += 2 * pr.colAllGather(words).Total()
+	}
+	return secs
 }
 
 // VolumeRatioBatchOverModel returns Eq. 5 for one convolutional layer: the

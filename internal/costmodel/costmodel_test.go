@@ -187,8 +187,9 @@ func TestDomainBeatsModelOnEarlyLayers(t *testing.T) {
 	net := nn.AlexNet()
 	g := grid.Grid{Pr: 4, Pc: 128}
 	conv1 := net.ConvLayers()[0]
-	mc := modelLayerCost(net, conv1, 512, g, knl(), false).Total().Total()
-	dc := domainLayerCost(net, conv1, 512, g.Pc, g.P(), knl()).Total().Total()
+	pr := FlatEnv(knl()).pricerFor(g)
+	mc := modelLayerCost(net, conv1, 512, pr, false).Total().Total()
+	dc := domainLayerCost(net, conv1, 512, pr).Total().Total()
 	if dc >= mc {
 		t.Fatalf("conv1: domain %g should beat model %g", dc, mc)
 	}
@@ -197,9 +198,10 @@ func TestDomainBeatsModelOnEarlyLayers(t *testing.T) {
 // TestDomainFreeFor1x1Conv: Eq. 7 — 1×1 convolutions need no halo.
 func TestDomainFreeFor1x1Conv(t *testing.T) {
 	net := nn.OneByOneNet()
+	pr := FlatEnv(knl()).pricerFor(grid.Grid{Pr: 4, Pc: 4})
 	for _, li := range net.ConvLayers() {
 		l := &net.Layers[li]
-		lc := domainLayerCost(net, li, 64, 4, 16, knl())
+		lc := domainLayerCost(net, li, 64, pr)
 		if l.KH == 1 && l.KW == 1 && lc.Halo().Total() != 0 {
 			t.Fatalf("%s: 1×1 conv should have zero halo, got %g", l.Name, lc.Halo().Total())
 		}
@@ -215,8 +217,9 @@ func TestDomainFCIsExpensive(t *testing.T) {
 	net := nn.AlexNet()
 	g := grid.Grid{Pr: 8, Pc: 64}
 	fc6 := net.FCLayers()[0]
-	mc := modelLayerCost(net, fc6, 2048, g, knl(), false).Total().Total()
-	dc := domainLayerCost(net, fc6, 2048, g.Pc, g.P(), knl()).Total().Total()
+	pr := FlatEnv(knl()).pricerFor(g)
+	mc := modelLayerCost(net, fc6, 2048, pr, false).Total().Total()
+	dc := domainLayerCost(net, fc6, 2048, pr).Total().Total()
 	if dc <= mc {
 		t.Fatalf("fc6: domain %g should be worse than model %g", dc, mc)
 	}

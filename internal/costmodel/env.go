@@ -1,0 +1,97 @@
+package costmodel
+
+import (
+	"dnnparallel/internal/collective"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+)
+
+// Env is the pricing environment for the Eq. 3–9 formulas: the machine
+// topology plus the rank placement that decides where each Pr/Pc
+// collective group physically sits. The flat environment (FlatEnv) is
+// the paper's setting — a uniform topology prices every term with the
+// flat closed forms, bit-for-bit — while a two-level topology prices
+// each group against its actual node span: intra-node groups ride the
+// fast link, one-rank-per-node groups the slow one, and straddling
+// groups pay a hierarchical decomposition (see internal/collective).
+type Env struct {
+	Topo      machine.Topology
+	Placement grid.Placement
+}
+
+// FlatEnv wraps a flat machine as the one-level environment. Every
+// Env method on it returns exactly what the corresponding flat function
+// returns.
+func FlatEnv(m machine.Machine) Env {
+	return Env{Topo: machine.Flat(m)}
+}
+
+// Flat reports whether the environment degenerates to a flat machine.
+func (e Env) Flat() bool { return e.Topo.Uniform() }
+
+// pricer caches the node spans of one grid's collective groups so each
+// FullIntegrated call classifies the placement once, not per layer.
+type pricer struct {
+	env Env
+	g   grid.Grid
+	// col, row, and all are the distinct node spans of the column
+	// groups, row groups, and the whole machine; haloIntra reports
+	// whether every halo-exchange pair stays on one node.
+	col, row, all []grid.NodeSpan
+	haloIntra     bool
+}
+
+func (e Env) pricerFor(g grid.Grid) *pricer {
+	p := &pricer{env: e, g: g}
+	if e.Flat() {
+		// The uniform fast path in internal/collective reads only the
+		// group size; skip the O(P) placement scan.
+		p.col = []grid.NodeSpan{{Ranks: g.Pr}}
+		p.row = []grid.NodeSpan{{Ranks: g.Pc}}
+		p.all = []grid.NodeSpan{{Ranks: g.P()}}
+		p.haloIntra = true
+		return p
+	}
+	ppn := e.Topo.RanksPerNode
+	p.col = g.ColGroupSpans(ppn, e.Placement)
+	p.row = g.RowGroupSpans(ppn, e.Placement)
+	p.all = []grid.NodeSpan{g.AllSpan(ppn)}
+	p.haloIntra = g.ColNeighborsIntra(ppn, e.Placement)
+	return p
+}
+
+// colAllGather prices the forward activation all-gather over the
+// Pr-sized column groups (worst group shape governs).
+func (p *pricer) colAllGather(words float64) collective.Cost {
+	return collective.MaxCost(p.col, func(s grid.NodeSpan) collective.Cost {
+		return collective.AllGatherTopo(s, words, p.env.Topo)
+	})
+}
+
+// colAllReduce prices the backprop ∆X all-reduce over the column groups.
+func (p *pricer) colAllReduce(words float64) collective.Cost {
+	return collective.MaxCost(p.col, func(s grid.NodeSpan) collective.Cost {
+		return collective.AllReduceTopo(s, words, p.env.Topo)
+	})
+}
+
+// rowAllReduce prices the ∆W all-reduce over the Pc-sized row groups.
+func (p *pricer) rowAllReduce(words float64) collective.Cost {
+	return collective.MaxCost(p.row, func(s grid.NodeSpan) collective.Cost {
+		return collective.AllReduceTopo(s, words, p.env.Topo)
+	})
+}
+
+// allAllReduce prices a full-P all-reduce (domain/batch-only gradient
+// reductions).
+func (p *pricer) allAllReduce(words float64) collective.Cost {
+	return collective.MaxCost(p.all, func(s grid.NodeSpan) collective.Cost {
+		return collective.AllReduceTopo(s, words, p.env.Topo)
+	})
+}
+
+// halo prices one halo-exchange message between spatially adjacent ranks
+// of a column group.
+func (p *pricer) halo(words float64) collective.Cost {
+	return collective.PointToPointTopo(p.haloIntra, words, p.env.Topo)
+}

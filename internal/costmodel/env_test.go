@@ -1,0 +1,196 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+)
+
+// Regression for the dead firstModel flag removed from FullIntegrated:
+// only the network's very first weighted layer skips the ∆X all-reduce.
+// When the leading conv layers run Domain, the first *Model* layer (fc6)
+// is not the first weighted layer, so it must still pay ActReduce — its
+// ∆X has to propagate back into the domain-parallel stack below it.
+func TestFirstModelLayerAfterDomainPaysActReduce(t *testing.T) {
+	net := nn.AlexNet()
+	g := grid.Grid{Pr: 8, Pc: 64}
+	assign := ConvAssignment(net, Domain, Model)
+	b := FullIntegrated(net, 512, g, assign, knl())
+
+	widx := net.WeightedLayers()
+	sawModel := false
+	for _, lc := range b.Layers {
+		switch lc.Strategy {
+		case Domain:
+			if lc.ActReduce.Total() != 0 {
+				t.Fatalf("domain layer %s must not carry a ∆X all-reduce", lc.Name)
+			}
+		case Model:
+			if !sawModel {
+				sawModel = true
+				if lc.Index == widx[0] {
+					t.Fatal("test setup broken: first weighted layer ended up Model")
+				}
+				if lc.ActReduce.Total() == 0 {
+					t.Fatalf("first Model layer %s (not the first weighted layer) must pay ActReduce", lc.Name)
+				}
+			}
+		}
+	}
+	if !sawModel {
+		t.Fatal("test setup broken: no Model layer found")
+	}
+
+	// And the genuine first weighted layer, when Model, still skips it.
+	uniform := FullIntegrated(net, 512, g, UniformAssignment(net, Model), knl())
+	if uniform.Layers[0].ActReduce.Total() != 0 {
+		t.Fatal("the network's first weighted layer must never pay a ∆X all-reduce")
+	}
+	for _, lc := range uniform.Layers[1:] {
+		if lc.ActReduce.Total() == 0 {
+			t.Fatalf("layer %s should pay ActReduce under the uniform Model assignment", lc.Name)
+		}
+	}
+}
+
+// EpochIterations/EpochSeconds must fail loudly instead of dividing by
+// zero (or silently mis-rounding a negative batch).
+func TestEpochPanicsOnBadInputs(t *testing.T) {
+	cases := map[string]func(){
+		"zero batch":        func() { EpochIterations(1000, 0) },
+		"negative batch":    func() { EpochIterations(1000, -8) },
+		"seconds zero b":    func() { EpochSeconds(0.5, 1000, 0) },
+		"negative dataset":  func() { EpochIterations(-1, 64) },
+		"seconds negativeN": func() { EpochSeconds(0.5, -10, 64) },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		})
+	}
+	// Valid inputs keep working.
+	if EpochIterations(0, 64) != 0 {
+		t.Fatal("empty dataset should take zero iterations")
+	}
+}
+
+// A uniform two-level topology must reproduce every flat breakdown to
+// the last bit, whatever placement or ranks-per-node it claims —
+// property-tested over random grids, batch sizes, and assignments.
+func TestEnvFlatEquivalenceProperty(t *testing.T) {
+	net := nn.AlexNet()
+	m := knl()
+	rng := rand.New(rand.NewSource(42))
+	strategies := []Strategy{Model, Domain, BatchOnly}
+	for trial := 0; trial < 50; trial++ {
+		p := 1 << (1 + rng.Intn(10)) // 2 … 1024
+		grids := grid.Factorizations(p)
+		g := grids[rng.Intn(len(grids))]
+		B := g.Pc * (1 + rng.Intn(8))
+		// Uniform topology with arbitrary node size and placement.
+		topo := machine.Flat(m)
+		topo.RanksPerNode = 1 + rng.Intn(8)
+		env := Env{Topo: topo, Placement: grid.Placements()[rng.Intn(2)]}
+
+		assign := make(Assignment)
+		for _, li := range net.WeightedLayers() {
+			assign[li] = strategies[rng.Intn(len(strategies))]
+		}
+
+		pairs := []struct {
+			name       string
+			flat, topo *Breakdown
+		}{
+			{"FullIntegrated", FullIntegrated(net, B, g, assign, m), env.FullIntegrated(net, B, g, assign)},
+			{"Integrated", Integrated(net, B, g, m), env.Integrated(net, B, g)},
+			{"PureModel", PureModel(net, B, p, m), env.PureModel(net, B, p)},
+			{"PureBatch", PureBatch(net, B, p, m), env.PureBatch(net, B, p)},
+			{"PureDomain", PureDomain(net, B, p, m), env.PureDomain(net, B, p)},
+		}
+		for _, pair := range pairs {
+			if len(pair.flat.Layers) != len(pair.topo.Layers) {
+				t.Fatalf("%s: layer count mismatch", pair.name)
+			}
+			for i := range pair.flat.Layers {
+				if pair.flat.Layers[i] != pair.topo.Layers[i] {
+					t.Fatalf("%s (grid %v, B=%d, ppn=%d, %v): layer %d differs:\nflat %+v\ntopo %+v",
+						pair.name, g, B, topo.RanksPerNode, env.Placement, i,
+						pair.flat.Layers[i], pair.topo.Layers[i])
+				}
+			}
+		}
+		if rs := env.Redistribute(net, 0, B, p); rs != Redistribute(net, 0, B, p, m) {
+			t.Fatalf("Redistribute differs under uniform topology")
+		}
+	}
+}
+
+// On a genuinely two-level machine the placement matters: with AlexNet's
+// FC layers model-parallel on an aligned grid, the activation collectives
+// travel the column groups — packing those onto nodes (ColMajor) must
+// price the model terms cheaper than scattering them (RowMajor).
+func TestPlacementChangesModelCosts(t *testing.T) {
+	net := nn.AlexNet()
+	topo := machine.CoriKNLNodes(4)
+	g := grid.Grid{Pr: 4, Pc: 16}
+	B := 512
+	assign := UniformAssignment(net, Model)
+
+	col := Env{Topo: topo, Placement: grid.ColMajor}.FullIntegrated(net, B, g, assign)
+	row := Env{Topo: topo, Placement: grid.RowMajor}.FullIntegrated(net, B, g, assign)
+
+	var colAG, rowAG float64
+	for i := range col.Layers {
+		colAG += col.Layers[i].AllGather.Total() + col.Layers[i].ActReduce.Total()
+		rowAG += row.Layers[i].AllGather.Total() + row.Layers[i].ActReduce.Total()
+	}
+	if colAG >= rowAG {
+		t.Fatalf("ColMajor activation collectives (%g) should beat RowMajor (%g) — 4-high columns fit a node", colAG, rowAG)
+	}
+
+	// Every leveled cost must sum its attribution to the total.
+	for _, bd := range []*Breakdown{col, row} {
+		for _, lc := range bd.Layers {
+			for _, c := range []struct {
+				name string
+				cost float64
+				in   float64
+			}{
+				{"AllGather", lc.AllGather.Total(), lc.AllGather.Intra + lc.AllGather.Inter},
+				{"ActReduce", lc.ActReduce.Total(), lc.ActReduce.Intra + lc.ActReduce.Inter},
+				{"GradReduce", lc.GradReduce.Total(), lc.GradReduce.Intra + lc.GradReduce.Inter},
+			} {
+				if c.cost > 0 && math.Abs(c.in-c.cost) > 1e-12*c.cost {
+					t.Fatalf("%s %s: level attribution %g != total %g", lc.Name, c.name, c.in, c.cost)
+				}
+			}
+		}
+	}
+}
+
+// A 10× slower inter-node link must make the all-on-one-node grid
+// pricing strictly cheaper than the flat machine predicts, and the
+// scattered pricing no cheaper.
+func TestTwoLevelBracketsFlat(t *testing.T) {
+	net := nn.AlexNet()
+	topo := machine.CoriKNLNodes(8)
+	flat := topo.Machine() // inter-level view = the Table 1 constants
+	g := grid.Grid{Pr: 8, Pc: 8}
+	B := 512
+
+	flatBD := Integrated(net, B, g, flat)
+	colPacked := Env{Topo: topo, Placement: grid.ColMajor}.Integrated(net, B, g)
+	if colPacked.TotalSeconds() >= flatBD.TotalSeconds() {
+		t.Fatalf("packing the heavy groups on-node (%g) must beat the flat Aries-only model (%g)",
+			colPacked.TotalSeconds(), flatBD.TotalSeconds())
+	}
+}

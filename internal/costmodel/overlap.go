@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"dnnparallel/internal/collective"
 	"dnnparallel/internal/compute"
 	"dnnparallel/internal/timeline"
 )
@@ -87,23 +88,55 @@ func AggregateTimeline(b *Breakdown, compSeconds float64) []timeline.Layer {
 // index into Network.Layers, and the output is sorted by that index —
 // the simulator treats slice order as forward order, so encounter order
 // must not leak through when the two inputs cover different index sets.
+//
+// A breakdown priced against a two-level topology carries per-level cost
+// attributions (collective.Cost.Intra/Inter); TimelineLayers forwards
+// them as timeline.LayerLevels so intra- and inter-node collectives
+// schedule on separate link lanes. Flat breakdowns produce flat layers
+// (single Network lane) — the legacy behavior, bit-identical.
 func TimelineLayers(b *Breakdown, times []compute.LayerTime) []timeline.Layer {
+	leveled := false
+	for _, lc := range b.Layers {
+		if lc.AllGather.Leveled() || lc.FwdHalo.Leveled() || lc.ActReduce.Leveled() ||
+			lc.GradReduce.Leveled() || lc.BwdHalo.Leveled() {
+			leveled = true
+			break
+		}
+	}
 	merged := make(map[int]*timeline.Layer, len(b.Layers))
 	at := func(index int, name string) *timeline.Layer {
 		if l, ok := merged[index]; ok {
 			return l
 		}
-		l := &timeline.Layer{Name: name}
+		// Levels is always allocated while merging (so the set closure
+		// has a target) and dropped from the output when the breakdown
+		// is flat.
+		l := &timeline.Layer{Name: name, Levels: &timeline.LayerLevels{}}
 		merged[index] = l
 		return l
 	}
+	set := func(flat *float64, lane *timeline.LinkCost, c collective.Cost) {
+		*flat = c.Total()
+		if !leveled {
+			return
+		}
+		if c.Leveled() {
+			*lane = timeline.LinkCost{Intra: c.Intra, Inter: c.Inter}
+		} else {
+			// A flat cost inside a leveled breakdown can only be zero —
+			// anything else would have been tagged by the topology
+			// pricer — so attributing it to the intra lane keeps the
+			// split/flat consistency invariant trivially.
+			*lane = timeline.LinkCost{Intra: c.Total()}
+		}
+	}
 	for _, lc := range b.Layers {
 		l := at(lc.Index, lc.Name)
-		l.AllGather = lc.AllGather.Total()
-		l.FwdHalo = lc.FwdHalo.Total()
-		l.ActReduce = lc.ActReduce.Total()
-		l.GradReduce = lc.GradReduce.Total()
-		l.BwdHalo = lc.BwdHalo.Total()
+		set(&l.AllGather, &l.Levels.AllGather, lc.AllGather)
+		set(&l.FwdHalo, &l.Levels.FwdHalo, lc.FwdHalo)
+		set(&l.ActReduce, &l.Levels.ActReduce, lc.ActReduce)
+		set(&l.GradReduce, &l.Levels.GradReduce, lc.GradReduce)
+		set(&l.BwdHalo, &l.Levels.BwdHalo, lc.BwdHalo)
 	}
 	for _, t := range times {
 		l := at(t.Index, t.Name)
@@ -117,15 +150,32 @@ func TimelineLayers(b *Breakdown, times []compute.LayerTime) []timeline.Layer {
 	sort.Ints(indices)
 	out := make([]timeline.Layer, 0, len(indices))
 	for _, i := range indices {
-		out = append(out, *merged[i])
+		l := *merged[i]
+		if !leveled {
+			l.Levels = nil // flat breakdown: single Network lane, legacy behavior
+		}
+		out = append(out, l)
 	}
 	return out
 }
 
-// EpochIterations returns ⌈N/B⌉, the SGD steps per epoch.
-func EpochIterations(n, b int) int { return (n + b - 1) / b }
+// EpochIterations returns ⌈N/B⌉, the SGD steps per epoch. A batch size
+// b ≤ 0 panics (the internal/tensor fail-loudly convention): the old
+// integer division would have divided by zero or, for negative b,
+// silently returned a nonsense step count that corrupts every epoch
+// figure downstream. Negative n panics for the same reason.
+func EpochIterations(n, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("costmodel: EpochIterations needs batch size ≥ 1, got B=%d", b))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("costmodel: EpochIterations needs dataset size ≥ 0, got N=%d", n))
+	}
+	return (n + b - 1) / b
+}
 
 // EpochSeconds scales a per-iteration time to one epoch over n samples.
+// Like EpochIterations it panics on b ≤ 0 or n < 0.
 func EpochSeconds(perIter float64, n, b int) float64 {
 	return perIter * float64(EpochIterations(n, b))
 }

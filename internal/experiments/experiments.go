@@ -21,8 +21,13 @@ import (
 // Setup fixes the Table 1 parameters: network, dataset size, machine, and
 // compute model.
 type Setup struct {
-	Net      *nn.Network
-	Machine  machine.Machine
+	Net     *nn.Network
+	Machine machine.Machine
+	// Topology, when set (non-zero), makes every planner-backed
+	// experiment price collectives against the two-level
+	// intra-/inter-node machine and search rank placements
+	// (dnnsim -ppn/-nodes).
+	Topology machine.Topology
 	Compute  compute.Model
 	DatasetN int
 }
@@ -41,6 +46,7 @@ func Default() Setup {
 func (s Setup) options(mode planner.Mode, overlap bool) planner.Options {
 	return planner.Options{
 		Machine:  s.Machine,
+		Topology: s.Topology,
 		Compute:  s.Compute,
 		Mode:     mode,
 		Overlap:  overlap,
@@ -59,6 +65,12 @@ func (s Setup) Table1() string {
 		{"Computing platform", s.Machine.Name, fmt.Sprintf("latency α = %.0fµs", s.Machine.Alpha*1e6)},
 		{"", "inverse bw", fmt.Sprintf("1/β = %.0f GB/s", s.Machine.BandwidthBytes()/1e9)},
 		{"", "peak", fmt.Sprintf("%.1f TFLOP/s model", s.Machine.PeakFlops/1e12)},
+	}
+	if !s.Topology.IsZero() {
+		rows = append(rows,
+			[]string{"", "topology", fmt.Sprintf("%d ranks/node", s.Topology.RanksPerNode)},
+			[]string{"", "intra-node link", fmt.Sprintf("α = %.2gµs, 1/β = %.0f GB/s",
+				s.Topology.Intra.Alpha*1e6, s.Topology.Intra.BandwidthBytes()/1e9)})
 	}
 	return report.Table([]string{"Fixed option", "Value", "Relevant parameters"}, rows)
 }

@@ -45,6 +45,10 @@ func (s Setup) Sensitivity() ([]SensitivityRow, error) {
 	for _, mc := range machines {
 		o := s.options(planner.ConvBatch, false)
 		o.Machine = machine.Machine{Name: mc.name, Alpha: mc.alpha, Beta: 4 / (mc.bwGBs * 1e9), PeakFlops: s.Machine.PeakFlops}
+		// The sweep varies the flat α–β machine; a Setup-level two-level
+		// topology would take pricing precedence over every swept Machine
+		// and collapse the rows into one.
+		o.Topology = machine.Topology{}
 		res, err := planner.Optimize(s.Net, 2048, 512, o)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", mc.name, err)

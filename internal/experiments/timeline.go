@@ -39,7 +39,10 @@ func (s Setup) TimelineStudy(mode planner.Mode, pol timeline.Policy, B, P int) (
 			continue // Optimize already priced the scoring policy
 		}
 		o.TimelinePolicy = p
-		plan := planner.Evaluate(s.Net, B, res.Best.Grid, o)
+		// Pin the placement too: Evaluate would re-search it per policy
+		// and could flip to a different placement (hence assignment),
+		// breaking the same-configuration contract of the comparison.
+		plan := planner.EvaluateAt(s.Net, B, res.Best.Grid, res.Best.Placement, o)
 		if plan.Feasible {
 			tr.ByPolicy[p] = plan.IterSeconds
 		}
@@ -76,8 +79,30 @@ func TimelineCSV(studies []TimelineResult) string {
 	return report.CSV(header, rows)
 }
 
-// GanttSpans converts a simulated schedule into report rows (lane 0 =
-// compute, lane 1 = network), shared by dnnsim and dnnplan.
+// GanttLegend names the lanes a schedule actually uses: the flat lanes
+// "█ compute, ▒ network" or, on a two-level topology, the split link
+// lanes "▓ net-intra, ░ net-inter". Shared by dnnsim and dnnplan.
+func GanttLegend(res *timeline.Result) string {
+	used := map[timeline.Resource]bool{}
+	for _, s := range res.Spans {
+		used[s.Resource] = true
+	}
+	legend := "█ compute"
+	if used[timeline.Network] {
+		legend += ", ▒ network"
+	}
+	if used[timeline.NetworkIntra] {
+		legend += ", ▓ net-intra"
+	}
+	if used[timeline.NetworkInter] {
+		legend += ", ░ net-inter"
+	}
+	return legend
+}
+
+// GanttSpans converts a simulated schedule into report rows (lane =
+// timeline.Resource: compute, network, net-intra, net-inter), shared by
+// dnnsim and dnnplan.
 func GanttSpans(res *timeline.Result) []report.GanttSpan {
 	var spans []report.GanttSpan
 	for _, sp := range res.Spans {
@@ -132,7 +157,8 @@ func RenderTimeline(tr TimelineResult) string {
 	b.WriteByte('\n')
 
 	b.WriteString(report.Gantt(
-		fmt.Sprintf("schedule (█ compute, ▒ network; makespan %ss + %ss overhead)",
+		fmt.Sprintf("schedule (%s; makespan %ss + %ss overhead)",
+			GanttLegend(best.Timeline),
 			report.F(best.Timeline.Makespan), report.F(best.IterSeconds-best.Timeline.Makespan)),
 		GanttSpans(best.Timeline), 64))
 	return b.String()

@@ -1,0 +1,204 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Placement maps logical grid coordinates (r, c) to machine ranks, i.e.
+// decides where each process of the Pr × Pc grid physically sits when the
+// machine packs consecutive machine ranks onto nodes. The choice matters
+// only on a hierarchical machine: it decides whether the Pc-sized row
+// groups (the ∆W all-reduce of Fig. 5) or the Pr-sized column groups (the
+// activation all-gather / ∆X all-reduce) stay inside a node.
+type Placement int
+
+const (
+	// RowMajor places process (r, c) at machine rank r·Pc + c — the
+	// package's logical rank convention. Row groups occupy consecutive
+	// machine ranks; column groups have stride Pc.
+	RowMajor Placement = iota
+	// ColMajor places process (r, c) at machine rank c·Pr + r. Column
+	// groups occupy consecutive machine ranks; row groups have stride Pr.
+	ColMajor
+)
+
+// Placements lists every placement, in search order.
+func Placements() []Placement { return []Placement{RowMajor, ColMajor} }
+
+func (p Placement) String() string {
+	switch p {
+	case RowMajor:
+		return "row-major"
+	case ColMajor:
+		return "col-major"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// ParsePlacement converts a flag value into a Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "row-major", "row", "":
+		return RowMajor, nil
+	case "col-major", "col", "column-major":
+		return ColMajor, nil
+	}
+	return RowMajor, fmt.Errorf("grid: unknown placement %q (want row-major|col-major)", s)
+}
+
+// MachineRank returns the machine rank of process (r, c) under a
+// placement. The logical rank (Grid.Rank) is the RowMajor special case.
+func (g Grid) MachineRank(r, c int, pl Placement) int {
+	if r < 0 || r >= g.Pr || c < 0 || c >= g.Pc {
+		panic(fmt.Sprintf("grid: coords (%d,%d) outside %v", r, c, g))
+	}
+	if pl == ColMajor {
+		return c*g.Pr + r
+	}
+	return r*g.Pc + c
+}
+
+// NodeSpan summarizes how one collective group's machine ranks map onto
+// nodes of ppn ranks each — the only information the hierarchical α–β
+// cost formulas need.
+type NodeSpan struct {
+	// Ranks is the group size p.
+	Ranks int
+	// Nodes is the number of distinct nodes the group touches.
+	Nodes int
+	// MaxPerNode and MinPerNode bound the group's rank count per touched
+	// node. Nodes == 1 means the group is intra-node; MaxPerNode == 1
+	// means it is one-rank-per-node (pure inter-node); anything else is
+	// mixed and costs a hierarchical (intra + inter) collective.
+	MaxPerNode, MinPerNode int
+}
+
+// Intra reports whether the whole group sits on one node.
+func (s NodeSpan) Intra() bool { return s.Nodes <= 1 }
+
+// Inter reports whether the group has exactly one rank per node.
+func (s NodeSpan) Inter() bool { return s.MaxPerNode <= 1 }
+
+func (s NodeSpan) String() string {
+	return fmt.Sprintf("%d ranks over %d nodes (%d–%d per node)",
+		s.Ranks, s.Nodes, s.MinPerNode, s.MaxPerNode)
+}
+
+// SpanOf classifies a set of machine ranks against nodes of ppn ranks
+// each (node of rank r = ⌊r/ppn⌋). ppn must be ≥ 1.
+func SpanOf(ranks []int, ppn int) NodeSpan {
+	if ppn < 1 {
+		panic(fmt.Sprintf("grid: SpanOf needs ppn ≥ 1, got %d", ppn))
+	}
+	if len(ranks) == 0 {
+		return NodeSpan{}
+	}
+	perNode := make(map[int]int)
+	for _, r := range ranks {
+		perNode[r/ppn]++
+	}
+	s := NodeSpan{Ranks: len(ranks), Nodes: len(perNode), MinPerNode: len(ranks)}
+	for _, n := range perNode {
+		if n > s.MaxPerNode {
+			s.MaxPerNode = n
+		}
+		if n < s.MinPerNode {
+			s.MinPerNode = n
+		}
+	}
+	return s
+}
+
+// dedupeSpans sorts and deduplicates spans so callers price each distinct
+// group shape once; order is deterministic (worst-case selection over the
+// result must not depend on group enumeration order).
+func dedupeSpans(spans []NodeSpan) []NodeSpan {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
+		if a.MaxPerNode != b.MaxPerNode {
+			return a.MaxPerNode < b.MaxPerNode
+		}
+		return a.MinPerNode < b.MinPerNode
+	})
+	out := spans[:0]
+	for i, s := range spans {
+		if i == 0 || s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ColGroupSpans returns the distinct node spans of the Pc column groups
+// (the Pr-sized all-gather / ∆X all-reduce groups of Fig. 5) under a
+// placement. Misaligned groups can straddle node boundaries differently,
+// so more than one shape may come back; a bulk-synchronous collective is
+// governed by the most expensive one.
+func (g Grid) ColGroupSpans(ppn int, pl Placement) []NodeSpan {
+	spans := make([]NodeSpan, 0, g.Pc)
+	ranks := make([]int, g.Pr)
+	for c := 0; c < g.Pc; c++ {
+		for r := 0; r < g.Pr; r++ {
+			ranks[r] = g.MachineRank(r, c, pl)
+		}
+		spans = append(spans, SpanOf(ranks, ppn))
+	}
+	return dedupeSpans(spans)
+}
+
+// RowGroupSpans returns the distinct node spans of the Pr row groups (the
+// Pc-sized ∆W all-reduce groups of Fig. 5) under a placement.
+func (g Grid) RowGroupSpans(ppn int, pl Placement) []NodeSpan {
+	spans := make([]NodeSpan, 0, g.Pr)
+	ranks := make([]int, g.Pc)
+	for r := 0; r < g.Pr; r++ {
+		for c := 0; c < g.Pc; c++ {
+			ranks[c] = g.MachineRank(r, c, pl)
+		}
+		spans = append(spans, SpanOf(ranks, ppn))
+	}
+	return dedupeSpans(spans)
+}
+
+// AllSpan returns the node span of the whole machine — machine ranks
+// 0..P−1 — used by the full-P collectives (pure batch / domain gradient
+// all-reduces). It is placement-independent: every placement is a
+// bijection onto 0..P−1.
+func (g Grid) AllSpan(ppn int) NodeSpan {
+	if ppn < 1 {
+		panic(fmt.Sprintf("grid: AllSpan needs ppn ≥ 1, got %d", ppn))
+	}
+	p := g.P()
+	nodes := (p + ppn - 1) / ppn
+	s := NodeSpan{Ranks: p, Nodes: nodes, MaxPerNode: min(p, ppn), MinPerNode: min(p, ppn)}
+	if rem := p % ppn; rem != 0 && nodes > 1 {
+		s.MinPerNode = rem
+	}
+	return s
+}
+
+// ColNeighborsIntra reports whether every pair of spatially adjacent
+// ranks within every column group — the halo-exchange partners of the
+// domain-parallel layers (Eq. 7) — sits on one node. The halo step is
+// bulk-synchronous across all pairs, so a single node-crossing pair makes
+// the whole exchange pay the inter-node link.
+func (g Grid) ColNeighborsIntra(ppn int, pl Placement) bool {
+	if ppn < 1 {
+		panic(fmt.Sprintf("grid: ColNeighborsIntra needs ppn ≥ 1, got %d", ppn))
+	}
+	for c := 0; c < g.Pc; c++ {
+		for r := 0; r+1 < g.Pr; r++ {
+			a := g.MachineRank(r, c, pl)
+			b := g.MachineRank(r+1, c, pl)
+			if a/ppn != b/ppn {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package grid
+
+import "testing"
+
+func TestMachineRankConventions(t *testing.T) {
+	g := Grid{Pr: 3, Pc: 4}
+	for r := 0; r < g.Pr; r++ {
+		for c := 0; c < g.Pc; c++ {
+			if got := g.MachineRank(r, c, RowMajor); got != g.Rank(r, c) {
+				t.Fatalf("RowMajor(%d,%d) = %d, want logical rank %d", r, c, got, g.Rank(r, c))
+			}
+			if got, want := g.MachineRank(r, c, ColMajor), c*g.Pr+r; got != want {
+				t.Fatalf("ColMajor(%d,%d) = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestPlacementIsBijection(t *testing.T) {
+	g := Grid{Pr: 4, Pc: 6}
+	for _, pl := range Placements() {
+		seen := make(map[int]bool)
+		for r := 0; r < g.Pr; r++ {
+			for c := 0; c < g.Pc; c++ {
+				mr := g.MachineRank(r, c, pl)
+				if mr < 0 || mr >= g.P() || seen[mr] {
+					t.Fatalf("%v: machine rank %d repeated or out of range", pl, mr)
+				}
+				seen[mr] = true
+			}
+		}
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for s, want := range map[string]Placement{
+		"row-major": RowMajor, "row": RowMajor, "": RowMajor,
+		"col-major": ColMajor, "COL": ColMajor, "column-major": ColMajor,
+	} {
+		got, err := ParsePlacement(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlacement(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePlacement("diagonal"); err == nil {
+		t.Fatal("ParsePlacement(diagonal) should error")
+	}
+}
+
+func TestSpanOf(t *testing.T) {
+	cases := []struct {
+		name  string
+		ranks []int
+		ppn   int
+		want  NodeSpan
+	}{
+		{"intra", []int{4, 5, 6, 7}, 4, NodeSpan{Ranks: 4, Nodes: 1, MaxPerNode: 4, MinPerNode: 4}},
+		{"inter", []int{0, 4, 8, 12}, 4, NodeSpan{Ranks: 4, Nodes: 4, MaxPerNode: 1, MinPerNode: 1}},
+		{"mixed balanced", []int{0, 1, 4, 5}, 4, NodeSpan{Ranks: 4, Nodes: 2, MaxPerNode: 2, MinPerNode: 2}},
+		{"mixed straddling", []int{2, 3, 4}, 4, NodeSpan{Ranks: 3, Nodes: 2, MaxPerNode: 2, MinPerNode: 1}},
+		{"singleton", []int{9}, 4, NodeSpan{Ranks: 1, Nodes: 1, MaxPerNode: 1, MinPerNode: 1}},
+		{"empty", nil, 4, NodeSpan{}},
+	}
+	for _, c := range cases {
+		if got := SpanOf(c.ranks, c.ppn); got != c.want {
+			t.Fatalf("%s: SpanOf(%v, %d) = %+v, want %+v", c.name, c.ranks, c.ppn, got, c.want)
+		}
+	}
+}
+
+func TestSpanClassification(t *testing.T) {
+	if !(NodeSpan{Ranks: 4, Nodes: 1, MaxPerNode: 4, MinPerNode: 4}).Intra() {
+		t.Fatal("single-node span must classify Intra")
+	}
+	if !(NodeSpan{Ranks: 4, Nodes: 4, MaxPerNode: 1, MinPerNode: 1}).Inter() {
+		t.Fatal("one-rank-per-node span must classify Inter")
+	}
+	mixed := NodeSpan{Ranks: 4, Nodes: 2, MaxPerNode: 2, MinPerNode: 2}
+	if mixed.Intra() || mixed.Inter() {
+		t.Fatal("straddling span must be neither Intra nor Inter")
+	}
+}
+
+// An 4×4 grid on 4-rank nodes: under RowMajor each row group is one node
+// and each column group touches all nodes; ColMajor swaps the two.
+func TestGroupSpansAlignedGrid(t *testing.T) {
+	g := Grid{Pr: 4, Pc: 4}
+	const ppn = 4
+
+	rows := g.RowGroupSpans(ppn, RowMajor)
+	if len(rows) != 1 || !rows[0].Intra() {
+		t.Fatalf("RowMajor row groups = %v, want one intra-node span", rows)
+	}
+	cols := g.ColGroupSpans(ppn, RowMajor)
+	if len(cols) != 1 || !cols[0].Inter() {
+		t.Fatalf("RowMajor col groups = %v, want one inter-node span", cols)
+	}
+
+	rows = g.RowGroupSpans(ppn, ColMajor)
+	if len(rows) != 1 || !rows[0].Inter() {
+		t.Fatalf("ColMajor row groups = %v, want one inter-node span", rows)
+	}
+	cols = g.ColGroupSpans(ppn, ColMajor)
+	if len(cols) != 1 || !cols[0].Intra() {
+		t.Fatalf("ColMajor col groups = %v, want one intra-node span", cols)
+	}
+}
+
+// A group wider than a node becomes a mixed span: a 1×8 grid on 4-rank
+// nodes has one row group spanning 2 nodes with 4 ranks each.
+func TestGroupSpansMixed(t *testing.T) {
+	g := Grid{Pr: 1, Pc: 8}
+	spans := g.RowGroupSpans(4, RowMajor)
+	want := NodeSpan{Ranks: 8, Nodes: 2, MaxPerNode: 4, MinPerNode: 4}
+	if len(spans) != 1 || spans[0] != want {
+		t.Fatalf("spans = %v, want [%+v]", spans, want)
+	}
+}
+
+// Misaligned groups (Pc does not divide ppn) produce distinct straddling
+// shapes; the dedupe must keep each shape once, deterministically sorted.
+func TestGroupSpansMisaligned(t *testing.T) {
+	g := Grid{Pr: 2, Pc: 3} // P = 6 on 4-rank nodes
+	spans := g.RowGroupSpans(4, RowMajor)
+	// Row 0 = ranks {0,1,2} (one node); row 1 = ranks {3,4,5} (straddles).
+	want := []NodeSpan{
+		{Ranks: 3, Nodes: 1, MaxPerNode: 3, MinPerNode: 3},
+		{Ranks: 3, Nodes: 2, MaxPerNode: 2, MinPerNode: 1},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("spans = %v, want %v", spans, want)
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("span[%d] = %+v, want %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+func TestAllSpan(t *testing.T) {
+	cases := []struct {
+		g    Grid
+		ppn  int
+		want NodeSpan
+	}{
+		{Grid{Pr: 2, Pc: 4}, 4, NodeSpan{Ranks: 8, Nodes: 2, MaxPerNode: 4, MinPerNode: 4}},
+		{Grid{Pr: 1, Pc: 6}, 4, NodeSpan{Ranks: 6, Nodes: 2, MaxPerNode: 4, MinPerNode: 2}},
+		{Grid{Pr: 1, Pc: 3}, 8, NodeSpan{Ranks: 3, Nodes: 1, MaxPerNode: 3, MinPerNode: 3}},
+	}
+	for _, c := range cases {
+		if got := c.g.AllSpan(c.ppn); got != c.want {
+			t.Fatalf("%v.AllSpan(%d) = %+v, want %+v", c.g, c.ppn, got, c.want)
+		}
+		// AllSpan must agree with classifying the literal rank list.
+		ranks := make([]int, c.g.P())
+		for i := range ranks {
+			ranks[i] = i
+		}
+		if got, want := SpanOf(ranks, c.ppn), c.g.AllSpan(c.ppn); got != want {
+			t.Fatalf("SpanOf(0..P-1) = %+v disagrees with AllSpan %+v", got, want)
+		}
+	}
+}
+
+func TestColNeighborsIntra(t *testing.T) {
+	// ColMajor keeps column neighbors adjacent in machine-rank space: a
+	// 4-high column fits on a 4-rank node.
+	g := Grid{Pr: 4, Pc: 2}
+	if !g.ColNeighborsIntra(4, ColMajor) {
+		t.Fatal("ColMajor 4-high columns on 4-rank nodes must be intra")
+	}
+	// RowMajor gives column neighbors stride Pc=2: ranks {0,2,4,6} cross
+	// the node boundary between 2 and 4.
+	if g.ColNeighborsIntra(4, RowMajor) {
+		t.Fatal("RowMajor strided columns must cross nodes")
+	}
+	// Pr = 1 has no neighbor pairs at all.
+	if !(Grid{Pr: 1, Pc: 8}).ColNeighborsIntra(4, RowMajor) {
+		t.Fatal("Pr=1 has no halo pairs, trivially intra")
+	}
+	// A column taller than the node must cross somewhere even if packed.
+	if (Grid{Pr: 8, Pc: 1}).ColNeighborsIntra(4, ColMajor) {
+		t.Fatal("8-high packed column on 4-rank nodes must cross")
+	}
+}

@@ -1,13 +1,19 @@
 // Package machine models the distributed-memory platform of the paper's
-// Table 1 as a flat α–β network plus a node-level compute capability.
+// Table 1: a flat α–β network (Machine) plus a per-process compute
+// capability, and the two-level generalization the paper's "Limitations"
+// section leaves open (Topology) — distinct intra-node and inter-node α–β
+// links with a fixed number of ranks per node.
 //
 // Conventions (matching Section 2.2 of the paper):
 //   - α is the per-message latency in seconds.
 //   - β is the inverse bandwidth in seconds per *word*. The paper counts
 //     communication volume in words (elements of W, X, Y); deep-learning
 //     practice is float32, so a word is 4 bytes and β = WordBytes / bytes-per-second.
-//   - The interconnect is flat: no topology, no congestion. The paper's
-//     "Limitations" paragraph states the same assumptions.
+//   - Machine is flat: no topology, no congestion — the paper's stated
+//     assumption. Topology adds exactly one refinement, a second link
+//     level at node boundaries; Flat(m) embeds a Machine as the one-level
+//     special case and every cost built on a uniform Topology reproduces
+//     the flat numbers exactly.
 package machine
 
 import "fmt"

@@ -1,0 +1,129 @@
+package machine
+
+import "fmt"
+
+// Link is the α–β description of one link level of a hierarchical
+// interconnect: Alpha is the per-message latency in seconds, Beta the
+// inverse bandwidth in seconds per word (WordBytes bytes), exactly as in
+// the flat Machine.
+type Link struct {
+	Alpha float64
+	Beta  float64
+}
+
+// BandwidthBytes returns the link bandwidth in bytes per second.
+func (l Link) BandwidthBytes() float64 { return WordBytes / l.Beta }
+
+// validate reports an error when the link constants are not physical.
+func (l Link) validate(name, level string) error {
+	if l.Alpha < 0 {
+		return fmt.Errorf("machine %q: negative %s latency %g", name, level, l.Alpha)
+	}
+	if l.Beta <= 0 {
+		return fmt.Errorf("machine %q: non-positive %s inverse bandwidth %g", name, level, l.Beta)
+	}
+	return nil
+}
+
+// Topology is a two-level hierarchical machine: ranks are packed onto
+// nodes of RanksPerNode processes each (rank r lives on node
+// ⌊r/RanksPerNode⌋), messages between ranks on the same node travel the
+// Intra link and messages crossing a node boundary travel the Inter link.
+// It generalizes the paper's flat α–β assumption to the machines it cites
+// — Cori's Aries network between nodes, shared memory or NVLink within
+// one (cf. the multi-GPU nodes of Yadan et al.) — so that the cost of a
+// collective depends on where its group's ranks actually sit.
+//
+// The flat Machine is the one-level special case: Flat(m) has identical
+// links at both levels, and every costing layer treats an identical-link
+// topology exactly as the flat machine (same closed forms, same single
+// network resource in the timeline simulator).
+type Topology struct {
+	Name string
+	// Intra is the link between two ranks on the same node.
+	Intra Link
+	// Inter is the link between two ranks on different nodes.
+	Inter Link
+	// RanksPerNode is the number of processes packed per node.
+	RanksPerNode int
+	// PeakFlops is the per-process peak floating-point rate (FLOP/s), as
+	// in Machine.
+	PeakFlops float64
+}
+
+// Flat lifts a flat Machine into the one-level Topology special case:
+// both link levels carry the machine's α–β and every rank is its own
+// node. All topology-aware costs collapse to the flat formulas on it.
+func Flat(m Machine) Topology {
+	l := Link{Alpha: m.Alpha, Beta: m.Beta}
+	return Topology{Name: m.Name, Intra: l, Inter: l, RanksPerNode: 1, PeakFlops: m.PeakFlops}
+}
+
+// CoriKNLNodes returns the Table 1 machine with its Aries network as the
+// inter-node level (α = 2 µs, 1/β = 6 GB/s) and a shared-memory
+// intra-node level (α = 0.5 µs, 1/β = 60 GB/s — ten times the Aries
+// bandwidth, the illustrative two-level setting of the topology study)
+// for ranksPerNode processes per node.
+func CoriKNLNodes(ranksPerNode int) Topology {
+	m := CoriKNL()
+	return Topology{
+		Name:         fmt.Sprintf("%s-%dppn", m.Name, ranksPerNode),
+		Intra:        Link{Alpha: 5e-7, Beta: WordBytes / 60e9},
+		Inter:        Link{Alpha: m.Alpha, Beta: m.Beta},
+		RanksPerNode: ranksPerNode,
+		PeakFlops:    m.PeakFlops,
+	}
+}
+
+// IsZero reports whether the topology is the zero value (i.e. unset —
+// callers fall back to a flat machine).
+func (t Topology) IsZero() bool { return t == Topology{} }
+
+// Uniform reports whether both link levels are identical, in which case
+// the topology is indistinguishable from a flat machine and every cost
+// function uses the flat closed forms exactly.
+func (t Topology) Uniform() bool { return t.Intra == t.Inter }
+
+// NodeOf returns the node index of a machine rank.
+func (t Topology) NodeOf(rank int) int {
+	if t.RanksPerNode < 1 {
+		panic(fmt.Sprintf("machine %q: RanksPerNode=%d", t.Name, t.RanksPerNode))
+	}
+	return rank / t.RanksPerNode
+}
+
+// Machine returns the flat α–β view of the topology at the inter-node
+// level — the conservative single-level machine a topology-unaware
+// consumer should see (every link priced as if it crossed nodes).
+func (t Topology) Machine() Machine {
+	return Machine{Name: t.Name, Alpha: t.Inter.Alpha, Beta: t.Inter.Beta, PeakFlops: t.PeakFlops}
+}
+
+// Validate reports an error when the topology constants are not physical.
+func (t Topology) Validate() error {
+	if err := t.Intra.validate(t.Name, "intra-node"); err != nil {
+		return err
+	}
+	if err := t.Inter.validate(t.Name, "inter-node"); err != nil {
+		return err
+	}
+	if t.RanksPerNode < 1 {
+		return fmt.Errorf("machine %q: RanksPerNode must be ≥ 1, got %d", t.Name, t.RanksPerNode)
+	}
+	if t.PeakFlops <= 0 {
+		return fmt.Errorf("machine %q: non-positive peak flops %g", t.Name, t.PeakFlops)
+	}
+	return nil
+}
+
+// String formats the topology like Table 1, one line per level.
+func (t Topology) String() string {
+	if t.Uniform() && t.RanksPerNode == 1 {
+		return t.Machine().String()
+	}
+	return fmt.Sprintf("%s: %d ranks/node, intra alpha=%.3gs 1/beta=%.3g GB/s, inter alpha=%.3gs 1/beta=%.3g GB/s, peak=%.3g TFLOP/s",
+		t.Name, t.RanksPerNode,
+		t.Intra.Alpha, t.Intra.BandwidthBytes()/1e9,
+		t.Inter.Alpha, t.Inter.BandwidthBytes()/1e9,
+		t.PeakFlops/1e12)
+}

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlatIsUniformOneLevel(t *testing.T) {
+	m := CoriKNL()
+	topo := Flat(m)
+	if !topo.Uniform() {
+		t.Fatal("Flat topology must have identical link levels")
+	}
+	if topo.RanksPerNode != 1 {
+		t.Fatalf("Flat ranks/node = %d, want 1", topo.RanksPerNode)
+	}
+	if topo.IsZero() {
+		t.Fatal("Flat(CoriKNL) is not the zero topology")
+	}
+	if got := topo.Machine(); got != m {
+		t.Fatalf("round trip Machine() = %+v, want %+v", got, m)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTopology(t *testing.T) {
+	var z Topology
+	if !z.IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	if z.Validate() == nil {
+		t.Fatal("zero topology must fail validation")
+	}
+}
+
+func TestCoriKNLNodesPreset(t *testing.T) {
+	topo := CoriKNLNodes(4)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.RanksPerNode != 4 {
+		t.Fatalf("ranks/node = %d, want 4", topo.RanksPerNode)
+	}
+	if topo.Uniform() {
+		t.Fatal("preset must be genuinely two-level")
+	}
+	m := CoriKNL()
+	if topo.Inter.Alpha != m.Alpha || topo.Inter.Beta != m.Beta {
+		t.Fatalf("inter level %+v must match the Table 1 Aries constants", topo.Inter)
+	}
+	if topo.Intra.Beta >= topo.Inter.Beta {
+		t.Fatal("intra-node link must be faster than the Aries link")
+	}
+	// The illustrative preset puts 10× the Aries bandwidth inside a node.
+	if r := topo.Intra.BandwidthBytes() / topo.Inter.BandwidthBytes(); r < 9.99 || r > 10.01 {
+		t.Fatalf("intra/inter bandwidth ratio = %g, want 10", r)
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	topo := CoriKNLNodes(4)
+	for rank, want := range map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2} {
+		if got := topo.NodeOf(rank); got != want {
+			t.Fatalf("NodeOf(%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestTopologyValidateRejectsNonPhysical(t *testing.T) {
+	good := CoriKNLNodes(4)
+	cases := map[string]func(*Topology){
+		"negIntraAlpha": func(t *Topology) { t.Intra.Alpha = -1 },
+		"zeroInterBeta": func(t *Topology) { t.Inter.Beta = 0 },
+		"zeroPPN":       func(t *Topology) { t.RanksPerNode = 0 },
+		"negPeak":       func(t *Topology) { t.PeakFlops = -1 },
+	}
+	for name, mutate := range cases {
+		topo := good
+		mutate(&topo)
+		if topo.Validate() == nil {
+			t.Fatalf("%s should fail validation", name)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	s := CoriKNLNodes(4).String()
+	for _, want := range []string{"4 ranks/node", "intra", "inter", "GB/s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	// The flat embedding renders exactly like the machine it wraps.
+	if got, want := Flat(CoriKNL()).String(), CoriKNL().String(); got != want {
+		t.Fatalf("Flat String() = %q, want %q", got, want)
+	}
+}

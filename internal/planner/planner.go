@@ -13,7 +13,6 @@ import (
 	"math"
 	"sort"
 
-	"dnnparallel/internal/collective"
 	"dnnparallel/internal/compute"
 	"dnnparallel/internal/costmodel"
 	"dnnparallel/internal/grid"
@@ -58,8 +57,18 @@ func (m Mode) String() string {
 // DefaultOptions.
 type Options struct {
 	Machine machine.Machine
-	Compute compute.Model
-	Mode    Mode
+	// Topology, when set (non-zero), prices every collective against the
+	// two-level intra-/inter-node machine and the candidate placements
+	// instead of the flat Machine (which then only documents the
+	// single-level view). A uniform Topology reproduces the flat
+	// Machine's numbers to the last bit.
+	Topology machine.Topology
+	// Placements constrains the rank-placement search. nil means
+	// automatic: row-major only on a flat/uniform topology (placement
+	// cannot matter there), both placements on a two-level one.
+	Placements []grid.Placement
+	Compute    compute.Model
+	Mode       Mode
 	// Overlap applies the Fig. 8 perfect comm/backprop overlap.
 	Overlap bool
 	// DatasetN, when > 0, also fills the per-epoch time (×⌈N/B⌉).
@@ -104,9 +113,32 @@ func DefaultOptions() Options {
 	}
 }
 
+// topology returns the pricing topology: the explicit two-level one
+// when set, the flat embedding of Machine otherwise.
+func (o Options) topology() machine.Topology {
+	if o.Topology.IsZero() {
+		return machine.Flat(o.Machine)
+	}
+	return o.Topology
+}
+
+// placements returns the placement search space (see Options.Placements).
+func (o Options) placements() []grid.Placement {
+	if len(o.Placements) > 0 {
+		return o.Placements
+	}
+	if o.topology().Uniform() {
+		return []grid.Placement{grid.RowMajor}
+	}
+	return grid.Placements()
+}
+
 // Plan is one evaluated configuration.
 type Plan struct {
-	Grid       grid.Grid
+	Grid grid.Grid
+	// Placement is the rank placement the plan was priced under (only
+	// meaningful with a two-level Options.Topology; row-major otherwise).
+	Placement  grid.Placement
 	Mode       Mode
 	Assignment costmodel.Assignment
 	Breakdown  *costmodel.Breakdown
@@ -165,7 +197,7 @@ func feasible(net *nn.Network, B int, g grid.Grid, mode Mode) (bool, string) {
 }
 
 // assignmentFor builds the Eq. 9 layer assignment for a grid under a mode.
-func assignmentFor(net *nn.Network, B int, g grid.Grid, mode Mode, m machine.Machine) costmodel.Assignment {
+func assignmentFor(net *nn.Network, B int, g grid.Grid, mode Mode, env costmodel.Env) costmodel.Assignment {
 	switch mode {
 	case Uniform:
 		return costmodel.UniformAssignment(net, costmodel.Model)
@@ -174,7 +206,7 @@ func assignmentFor(net *nn.Network, B int, g grid.Grid, mode Mode, m machine.Mac
 	case ConvDomain:
 		return costmodel.ConvAssignment(net, costmodel.Domain, costmodel.Model)
 	case Auto:
-		return autoAssignment(net, B, g, m)
+		return autoAssignment(net, B, g, env)
 	}
 	return nil
 }
@@ -182,22 +214,36 @@ func assignmentFor(net *nn.Network, B int, g grid.Grid, mode Mode, m machine.Mac
 // autoAssignment chooses, per conv layer, the cheapest strategy available
 // on grid g by evaluating the per-layer Eq. 9 terms directly; FC layers
 // always use Model (domain halos there cost the whole activation panel).
-func autoAssignment(net *nn.Network, B int, g grid.Grid, m machine.Machine) costmodel.Assignment {
+// On a two-level topology the choice is placement-sensitive: a strategy
+// whose collective groups pack onto nodes gets cheaper.
+//
+// A layer's Eq. 9 cost depends only on its own strategy, so three
+// uniform-assignment breakdowns price every (layer, strategy) pair with
+// three placement classifications total, instead of re-running the
+// O(P) classification per layer.
+func autoAssignment(net *nn.Network, B int, g grid.Grid, env costmodel.Env) costmodel.Assignment {
+	perStrategy := map[costmodel.Strategy]*costmodel.Breakdown{}
+	for _, s := range []costmodel.Strategy{costmodel.Model, costmodel.Domain, costmodel.BatchOnly} {
+		perStrategy[s] = env.FullIntegrated(net, B, g, costmodel.UniformAssignment(net, s))
+	}
 	a := make(costmodel.Assignment)
-	for _, li := range net.WeightedLayers() {
+	for k, li := range net.WeightedLayers() {
 		l := &net.Layers[li]
 		if l.Kind != nn.Conv {
 			a[li] = costmodel.Model
 			continue
 		}
-		best, bestCost := costmodel.Model, singleLayerCost(net, li, B, g, costmodel.Model, m)
+		cost := func(s costmodel.Strategy) float64 {
+			return perStrategy[s].Layers[k].Total().Total()
+		}
+		best, bestCost := costmodel.Model, cost(costmodel.Model)
 		if g.Pr <= l.In.H {
-			if c := singleLayerCost(net, li, B, g, costmodel.Domain, m); c < bestCost {
+			if c := cost(costmodel.Domain); c < bestCost {
 				best, bestCost = costmodel.Domain, c
 			}
 		}
 		if g.P() <= B {
-			if c := singleLayerCost(net, li, B, g, costmodel.BatchOnly, m); c < bestCost {
+			if c := cost(costmodel.BatchOnly); c < bestCost {
 				best, bestCost = costmodel.BatchOnly, c
 			}
 		}
@@ -206,22 +252,30 @@ func autoAssignment(net *nn.Network, B int, g grid.Grid, m machine.Machine) cost
 	return a
 }
 
-// singleLayerCost evaluates one layer under one strategy on grid g by
-// running Eq. 9 for a network view containing just that layer's terms.
-func singleLayerCost(net *nn.Network, li, B int, g grid.Grid, s costmodel.Strategy, m machine.Machine) float64 {
-	assign := costmodel.Assignment{li: s}
-	full := costmodel.FullIntegrated(net, B, g, assign, m)
-	for _, lc := range full.Layers {
-		if lc.Index == li {
-			return lc.Total().Total()
+// Evaluate prices one (grid, mode) configuration over the placement
+// search space and returns the best placement's plan (ties keep the
+// earlier placement, so flat machines deterministically report
+// row-major).
+func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
+	pls := opts.placements()
+	best := EvaluateAt(net, B, g, pls[0], opts)
+	if g.Pr == 1 || g.Pc == 1 {
+		// Degenerate grids have identical rank mappings under every
+		// placement; pricing the others would duplicate the first plan.
+		return best
+	}
+	for _, pl := range pls[1:] {
+		if p := EvaluateAt(net, B, g, pl, opts); p.Feasible &&
+			(!best.Feasible || p.IterSeconds < best.IterSeconds) {
+			best = p
 		}
 	}
-	return math.Inf(1)
+	return best
 }
 
-// Evaluate prices one (grid, mode) configuration.
-func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
-	p := Plan{Grid: g, Mode: opts.Mode}
+// EvaluateAt prices one (grid, placement, mode) configuration.
+func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options) Plan {
+	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
@@ -231,7 +285,8 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 		p.Reason = fmt.Sprintf("Pc=%d exceeds the batch-parallelism cap %d", g.Pc, opts.MaxPc)
 		return p
 	}
-	p.Assignment = assignmentFor(net, B, g, opts.Mode, opts.Machine)
+	env := costmodel.Env{Topo: opts.topology(), Placement: pl}
+	p.Assignment = assignmentFor(net, B, g, opts.Mode, env)
 	p.MemoryWords = costmodel.Memory(net, B, g, p.Assignment).TotalWords()
 	if opts.MemoryLimitWords > 0 && p.MemoryWords > opts.MemoryLimitWords {
 		p.Reason = fmt.Sprintf("per-process memory %.3g words exceeds limit %.3g",
@@ -239,7 +294,7 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 		return p
 	}
 	p.Feasible = true
-	p.Breakdown = costmodel.FullIntegrated(net, B, g, p.Assignment, opts.Machine)
+	p.Breakdown = env.FullIntegrated(net, B, g, p.Assignment)
 	p.CommSeconds = p.Breakdown.TotalSeconds()
 	if opts.UseTimeline {
 		times, overhead := opts.Compute.GridLayerTimes(net, B, g)
@@ -269,7 +324,7 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 	if opts.AddRedistribution {
 		// The redistribution all-gather blocks the next layer's compute,
 		// so it is never overlapped.
-		r := redistributionSeconds(net, B, g, p.Assignment, opts.Machine)
+		r := env.RedistributionSeconds(net, B, g, p.Assignment)
 		p.CommSeconds += r
 		p.IterSeconds += r
 	}
@@ -278,33 +333,6 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
 	}
 	return p
-}
-
-// redistributionSeconds prices the Eq. 6 redistribution at every layer
-// boundary where the strategy changes: the activations must be re-laid-out
-// from the upstream distribution into the replicated panels the
-// model-parallel layers consume. On a Pr × Pc grid this is a column-group
-// all-gather of the local activation panel — α⌈log Pr⌉ +
-// β·(B/Pc)·(Pr−1)/Pr·d_i per boundary (Eq. 6 with P = Pr on the local
-// batch; the paper's pure-model form is the Pc = 1 special case) —
-// charged once forward and once for the transposed backward
-// redistribution. With Pr = 1 the layout is already compatible and the
-// cost vanishes.
-func redistributionSeconds(net *nn.Network, B int, g grid.Grid, assign costmodel.Assignment, m machine.Machine) float64 {
-	if g.Pr == 1 {
-		return 0
-	}
-	widx := net.WeightedLayers()
-	var secs float64
-	for k := 1; k < len(widx); k++ {
-		prev, cur := assign[widx[k-1]], assign[widx[k]]
-		if prev == cur {
-			continue
-		}
-		words := float64(B) / float64(g.Pc) * float64(net.Layers[widx[k-1]].OutSize())
-		secs += 2 * collective.AllGather(g.Pr, words, m).Total()
-	}
-	return secs
 }
 
 // Result is the output of Optimize.
@@ -335,11 +363,18 @@ func (r Result) Speedup() (total, comm float64) {
 	return total, comm
 }
 
-// Optimize searches every Pr × Pc factorization of P and returns the
-// feasible plan with the lowest iteration time.
+// Optimize searches every Pr × Pc factorization of P — and, on a
+// two-level topology, every rank placement of each grid — returning the
+// feasible plan with the lowest iteration time. Each entry of Result.All
+// is one grid priced at its best placement (Plan.Placement).
 func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	if err := opts.Machine.Validate(); err != nil {
 		return Result{}, err
+	}
+	if !opts.Topology.IsZero() {
+		if err := opts.Topology.Validate(); err != nil {
+			return Result{}, err
+		}
 	}
 	if B < 1 || P < 1 {
 		return Result{}, fmt.Errorf("planner: need B ≥ 1 and P ≥ 1, got B=%d P=%d", B, P)

@@ -1,0 +1,201 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
+)
+
+// A uniform two-level topology (machine.Flat with any ranks-per-node)
+// must reproduce the flat planner bit for bit: same best grid, same
+// per-grid numbers, for every mode and scoring path — property-tested
+// over random (P, B, mode) draws. This is the flat-equivalence
+// guarantee of the topology refactor.
+func TestOptimizeFlatEquivalenceProperty(t *testing.T) {
+	net := nn.AlexNet()
+	rng := rand.New(rand.NewSource(9))
+	modes := []Mode{Uniform, ConvBatch, ConvDomain, Auto}
+	for trial := 0; trial < 12; trial++ {
+		P := 1 << (2 + rng.Intn(8)) // 4 … 512
+		B := P * (1 + rng.Intn(4))
+		opts := DefaultOptions()
+		opts.Mode = modes[rng.Intn(len(modes))]
+		opts.DatasetN = 1200000
+		switch trial % 3 {
+		case 1:
+			opts.Overlap = true
+		case 2:
+			opts.UseTimeline = true
+			opts.TimelinePolicy = timeline.PolicyBackprop
+		}
+
+		flat, err := Optimize(net, B, P, opts)
+		if err != nil {
+			t.Fatalf("flat Optimize(P=%d,B=%d,%v): %v", P, B, opts.Mode, err)
+		}
+
+		topoOpts := opts
+		topoOpts.Topology = machine.Flat(opts.Machine)
+		topoOpts.Topology.RanksPerNode = 1 + rng.Intn(16)
+		uni, err := Optimize(net, B, P, topoOpts)
+		if err != nil {
+			t.Fatalf("uniform-topology Optimize: %v", err)
+		}
+
+		if flat.Best.Grid != uni.Best.Grid {
+			t.Fatalf("P=%d B=%d %v: best grid %v != %v under uniform topology",
+				P, B, opts.Mode, flat.Best.Grid, uni.Best.Grid)
+		}
+		if len(flat.All) != len(uni.All) {
+			t.Fatalf("plan count %d != %d", len(flat.All), len(uni.All))
+		}
+		for i := range flat.All {
+			f, u := flat.All[i], uni.All[i]
+			if f.Feasible != u.Feasible || f.Grid != u.Grid {
+				t.Fatalf("plan %d: feasibility/grid mismatch", i)
+			}
+			if !f.Feasible {
+				continue
+			}
+			for _, v := range []struct {
+				name string
+				a, b float64
+			}{
+				{"IterSeconds", f.IterSeconds, u.IterSeconds},
+				{"CommSeconds", f.CommSeconds, u.CommSeconds},
+				{"CompSeconds", f.CompSeconds, u.CompSeconds},
+				{"ExposedCommSeconds", f.ExposedCommSeconds, u.ExposedCommSeconds},
+				{"EpochSeconds", f.EpochSeconds, u.EpochSeconds},
+				{"MemoryWords", f.MemoryWords, u.MemoryWords},
+			} {
+				if math.Abs(v.a-v.b) > 1e-12*math.Max(math.Abs(v.a), 1) {
+					t.Fatalf("P=%d B=%d %v grid %v: %s %g != %g under uniform topology",
+						P, B, opts.Mode, f.Grid, v.name, v.a, v.b)
+				}
+			}
+		}
+	}
+}
+
+// The acceptance demonstration: with inter-node β 10× the intra-node β
+// (machine.CoriKNLNodes), the planner shifts the chosen Pr × Pc grid
+// and placement on AlexNet relative to the flat Table 1 machine. The
+// expected winners are pinned from the probe run so a regression in the
+// placement-aware pricing shows up as a concrete grid change.
+func TestTwoLevelTopologyShiftsChosenGrid(t *testing.T) {
+	net := nn.AlexNet()
+	opts := DefaultOptions()
+	flat, err := Optimize(net, 2048, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Topology = machine.CoriKNLNodes(8)
+	topo, err := Optimize(net, 2048, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if flat.Best.Grid == topo.Best.Grid && topo.Best.Placement == grid.RowMajor {
+		t.Fatalf("two-level topology changed nothing: still %v %v", topo.Best.Grid, topo.Best.Placement)
+	}
+	if got, want := flat.Best.Grid, (grid.Grid{Pr: 32, Pc: 16}); got != want {
+		t.Fatalf("flat best grid = %v, want %v", got, want)
+	}
+	if got, want := topo.Best.Grid, (grid.Grid{Pr: 64, Pc: 8}); got != want {
+		t.Fatalf("two-level best grid = %v, want %v (deeper model parallelism packed on-node)", got, want)
+	}
+	if topo.Best.Placement != grid.ColMajor {
+		t.Fatalf("two-level best placement = %v, want col-major (column groups on-node)", topo.Best.Placement)
+	}
+	// Packing the heavy collectives onto the fast link must beat the
+	// all-Aries flat estimate.
+	if topo.Best.IterSeconds >= flat.Best.IterSeconds {
+		t.Fatalf("two-level best (%g) should undercut the flat best (%g)",
+			topo.Best.IterSeconds, flat.Best.IterSeconds)
+	}
+}
+
+// Constraining the placement search must be honored, and the reported
+// placement must match what the plan was priced under.
+func TestPlacementConstraint(t *testing.T) {
+	net := nn.AlexNet()
+	opts := DefaultOptions()
+	opts.Topology = machine.CoriKNLNodes(8)
+	g := grid.Grid{Pr: 64, Pc: 8}
+
+	free := Evaluate(net, 2048, g, opts)
+	if free.Placement != grid.ColMajor {
+		t.Fatalf("unconstrained placement = %v, want col-major to win on this grid", free.Placement)
+	}
+
+	opts.Placements = []grid.Placement{grid.RowMajor}
+	pinned := Evaluate(net, 2048, g, opts)
+	if pinned.Placement != grid.RowMajor {
+		t.Fatalf("pinned placement = %v, want row-major", pinned.Placement)
+	}
+	if pinned.IterSeconds <= free.IterSeconds {
+		t.Fatalf("row-major (%g) should be slower than the free search's col-major (%g) here",
+			pinned.IterSeconds, free.IterSeconds)
+	}
+	if rm := EvaluateAt(net, 2048, g, grid.RowMajor, opts); rm.IterSeconds != pinned.IterSeconds {
+		t.Fatalf("EvaluateAt(row-major) %g disagrees with pinned Evaluate %g", rm.IterSeconds, pinned.IterSeconds)
+	}
+}
+
+// Timeline scoring on a two-level topology: the leveled breakdown flows
+// through TimelineLayers into the two link lanes, and the two-lane
+// schedule can only improve on pricing the same plan with a single lane
+// (same total comm, more parallelism).
+func TestTopologyTimelineScoring(t *testing.T) {
+	net := nn.AlexNet()
+	opts := DefaultOptions()
+	opts.Topology = machine.CoriKNLNodes(8)
+	opts.UseTimeline = true
+	opts.TimelinePolicy = timeline.PolicyBackprop
+
+	res, err := Optimize(net, 2048, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best
+	if best.Timeline == nil {
+		t.Fatal("timeline scoring must attach the schedule")
+	}
+	if best.IterSeconds < best.CompSeconds-1e-12 {
+		t.Fatalf("iteration %g below compute bound %g", best.IterSeconds, best.CompSeconds)
+	}
+	// The schedule must actually use the split lanes.
+	lanes := map[timeline.Resource]bool{}
+	for _, s := range best.Timeline.Spans {
+		lanes[s.Resource] = true
+	}
+	if lanes[timeline.Network] {
+		t.Fatal("two-level plan scheduled communication on the flat Network lane")
+	}
+	if !lanes[timeline.NetworkIntra] || !lanes[timeline.NetworkInter] {
+		t.Fatalf("expected both link lanes in use, got %v", lanes)
+	}
+	// Serialized scoring (PolicyNone) must not beat the overlap policy.
+	opts.TimelinePolicy = timeline.PolicyNone
+	serial := EvaluateAt(net, 2048, best.Grid, best.Placement, opts)
+	if serial.IterSeconds < best.IterSeconds-1e-12 {
+		t.Fatalf("PolicyNone (%g) cannot beat PolicyBackprop (%g) on the same plan",
+			serial.IterSeconds, best.IterSeconds)
+	}
+}
+
+// An invalid topology is rejected up front.
+func TestOptimizeRejectsBadTopology(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Topology = machine.CoriKNLNodes(8)
+	opts.Topology.RanksPerNode = 0
+	if _, err := Optimize(nn.AlexNet(), 256, 16, opts); err == nil {
+		t.Fatal("expected an error for RanksPerNode=0")
+	}
+}

@@ -6,7 +6,8 @@ import (
 )
 
 // GanttSpan is one scheduled interval of a timeline chart. Lane selects
-// the glyph (lane 0 = compute '█', lane 1 = network '▒', further lanes
+// the glyph (lane 0 = compute '█', lane 1 = network '▒', lane 2 =
+// intra-node link '▓', lane 3 = inter-node link '░', further lanes
 // cycle); Label names the row.
 type GanttSpan struct {
 	Label      string
@@ -14,7 +15,7 @@ type GanttSpan struct {
 	Start, End float64
 }
 
-var laneGlyphs = []rune{'█', '▒', '▓'}
+var laneGlyphs = []rune{'█', '▒', '▓', '░'}
 
 // Gantt renders spans as a fixed-width text timeline, one row per span in
 // the given order:

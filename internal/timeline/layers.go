@@ -57,6 +57,45 @@ func ParsePolicy(s string) (Policy, error) {
 	return PolicyNone, fmt.Errorf("timeline: unknown overlap policy %q (want none|backprop|full)", s)
 }
 
+// LinkCost splits one communication duration across the two link lanes
+// of a hierarchical machine: the intra-node portion runs on
+// NetworkIntra, the inter-node portion on NetworkInter, and within one
+// collective the inter-node phase follows the intra-node phase (the
+// hierarchical all-reduce's intra reduce-scatter feeds the inter
+// all-reduce; the trailing intra all-gather is folded into the intra
+// lane's busy time, which preserves each lane's load and the
+// collective's end-to-end duration).
+type LinkCost struct {
+	Intra, Inter float64
+}
+
+// Total returns the combined duration on both lanes.
+func (lc LinkCost) Total() float64 { return lc.Intra + lc.Inter }
+
+// LayerLevels carries the per-lane split of each communication field of
+// a Layer, produced by pricing the layer against a two-level
+// machine.Topology (collective.Cost.Intra/Inter).
+type LayerLevels struct {
+	AllGather, FwdHalo, ActReduce, GradReduce, BwdHalo LinkCost
+}
+
+// get returns the split for one communication kind.
+func (ll LayerLevels) get(k Kind) LinkCost {
+	switch k {
+	case AllGather:
+		return ll.AllGather
+	case FwdHalo:
+		return ll.FwdHalo
+	case ActReduce:
+		return ll.ActReduce
+	case GradReduce:
+		return ll.GradReduce
+	case BwdHalo:
+		return ll.BwdHalo
+	}
+	panic(fmt.Sprintf("timeline: kind %v has no link-level split", k))
+}
+
 // Layer is the per-layer input to the simulator: compute durations on the
 // compute pipe and communication durations on the link, all in seconds.
 // Zero-duration entries generate no event. Layers appear in forward
@@ -72,6 +111,31 @@ type Layer struct {
 	ActReduce  float64 // backprop ∆X all-reduce
 	GradReduce float64 // ∆W all-reduce
 	BwdHalo    float64 // backward output halo exchange
+
+	// Levels, when non-nil, splits every communication field across the
+	// NetworkIntra/NetworkInter lanes of a two-level machine; each
+	// split must sum back to its flat field (validated). When nil all
+	// communication runs on the single Network lane — the flat-machine
+	// behavior, unchanged.
+	Levels *LayerLevels
+}
+
+// commDur returns the flat (single-link) duration of one communication
+// kind.
+func (l Layer) commDur(k Kind) float64 {
+	switch k {
+	case AllGather:
+		return l.AllGather
+	case FwdHalo:
+		return l.FwdHalo
+	case ActReduce:
+		return l.ActReduce
+	case GradReduce:
+		return l.GradReduce
+	case BwdHalo:
+		return l.BwdHalo
+	}
+	panic(fmt.Sprintf("timeline: kind %v is not communication", k))
 }
 
 // CommSeconds returns the layer's total time on the link.
@@ -95,6 +159,19 @@ func (l Layer) validate(i int) {
 	check("ActReduce", l.ActReduce)
 	check("GradReduce", l.GradReduce)
 	check("BwdHalo", l.BwdHalo)
+	if l.Levels == nil {
+		return
+	}
+	for _, k := range []Kind{AllGather, FwdHalo, ActReduce, GradReduce, BwdHalo} {
+		lv := l.Levels.get(k)
+		check(fmt.Sprintf("%v intra", k), lv.Intra)
+		check(fmt.Sprintf("%v inter", k), lv.Inter)
+		flat := l.commDur(k)
+		if d := math.Abs(lv.Total() - flat); d > 1e-9*math.Max(flat, 1e-30) {
+			panic(fmt.Sprintf("timeline: layer %d (%s): %v level split %g+%g does not sum to flat duration %g",
+				i, l.Name, k, lv.Intra, lv.Inter, flat))
+		}
+	}
 }
 
 // LayerStats aggregates a layer's scheduled time.
@@ -184,6 +261,22 @@ func buildEvents(layers []Layer, policy Policy) []Event {
 		}
 		return out
 	}
+	// comm emits one communication step: a single Network event on a flat
+	// layer, or an intra-lane event followed by a dependent inter-lane
+	// event when the layer carries a per-level split (the inter-node
+	// phase of a hierarchical collective consumes the intra-node
+	// phase's result). The returned handle completes when the whole
+	// step does.
+	comm := func(layer int, kind Kind, deps []int) []int {
+		l := layers[layer]
+		if l.Levels == nil {
+			return add(layer, kind, Network, l.commDur(kind), deps)
+		}
+		lv := l.Levels.get(kind)
+		intra := add(layer, kind, NetworkIntra, lv.Intra, deps)
+		inter := add(layer, kind, NetworkInter, lv.Inter, union(deps, intra))
+		return union(intra, inter)
+	}
 
 	L := len(layers)
 	fwdDone := make([][]int, L) // FwdComp handle per layer
@@ -198,13 +291,13 @@ func buildEvents(layers []Layer, policy Policy) []Event {
 				deps = union(deps, agDone[i-1]) // all-gather blocks the next GEMM
 			}
 		}
-		halo := add(i, FwdHalo, Network, layers[i].FwdHalo, deps)
+		halo := comm(i, FwdHalo, deps)
 		fdeps := deps
 		if policy != PolicyFull {
 			fdeps = union(deps, halo) // input halo blocks this GEMM
 		}
 		fwdDone[i] = add(i, FwdComp, Compute, layers[i].FwdComp, fdeps)
-		agDone[i] = add(i, AllGather, Network, layers[i].AllGather, fwdDone[i])
+		agDone[i] = comm(i, AllGather, fwdDone[i])
 	}
 
 	// Backward pass, last layer first.
@@ -231,9 +324,9 @@ func buildEvents(layers []Layer, policy Policy) []Event {
 		if policy == PolicyNone {
 			commDeps = bwd
 		}
-		add(i, BwdHalo, Network, layers[i].BwdHalo, commDeps)
-		add(i, ActReduce, Network, layers[i].ActReduce, commDeps)
-		add(i, GradReduce, Network, layers[i].GradReduce, commDeps)
+		comm(i, BwdHalo, commDeps)
+		comm(i, ActReduce, commDeps)
+		comm(i, GradReduce, commDeps)
 		prevBwd = bwd
 	}
 	return events
@@ -252,8 +345,7 @@ func summarize(layers []Layer, policy Policy, spans []Span) *Result {
 			r.Makespan = s.End
 		}
 		st := &r.PerLayer[s.Layer]
-		switch s.Resource {
-		case Compute:
+		if s.Resource == Compute {
 			r.ComputeSeconds += s.Duration
 			st.CompSeconds += s.Duration
 			if gap := s.Start - prevComputeEnd; gap > 0 {
@@ -268,7 +360,9 @@ func summarize(layers []Layer, policy Policy, spans []Span) *Result {
 			if s.End > lastComputeEnd {
 				lastComputeEnd = s.End
 			}
-		case Network:
+		} else {
+			// Every non-compute lane (Network, NetworkIntra, NetworkInter)
+			// is communication.
 			r.CommSeconds += s.Duration
 			st.CommSeconds += s.Duration
 		}

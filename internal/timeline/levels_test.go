@@ -1,0 +1,135 @@
+package timeline
+
+import (
+	"math"
+	"testing"
+)
+
+// A layer without Levels must schedule all communication on the single
+// Network lane; with Levels, only on the intra/inter lanes.
+func TestLevelsSelectLanes(t *testing.T) {
+	flat := []Layer{{Name: "a", FwdComp: 1, AllGather: 2, BwdComp: 1, GradReduce: 3}}
+	r := mustSimulate(t, flat, PolicyBackprop)
+	for _, s := range r.Spans {
+		if s.Resource == NetworkIntra || s.Resource == NetworkInter {
+			t.Fatalf("flat layer scheduled %q on %v", s.Name, s.Resource)
+		}
+	}
+
+	split := []Layer{{
+		Name: "a", FwdComp: 1, BwdComp: 1, AllGather: 2, GradReduce: 3,
+		Levels: &LayerLevels{
+			AllGather:  LinkCost{Intra: 0.5, Inter: 1.5},
+			GradReduce: LinkCost{Intra: 1, Inter: 2},
+		},
+	}}
+	r = mustSimulate(t, split, PolicyBackprop)
+	counts := map[Resource]int{}
+	for _, s := range r.Spans {
+		counts[s.Resource]++
+		if s.Resource == Network {
+			t.Fatalf("split layer scheduled %q on the flat Network lane", s.Name)
+		}
+	}
+	if counts[NetworkIntra] != 2 || counts[NetworkInter] != 2 {
+		t.Fatalf("lane counts = %v, want 2 intra + 2 inter", counts)
+	}
+	// Busy-time accounting still sees the full communication.
+	if !approx(r.CommSeconds, 5, 1e-12) {
+		t.Fatalf("CommSeconds = %g, want 5", r.CommSeconds)
+	}
+}
+
+// Within one collective the inter phase follows the intra phase.
+func TestLevelsIntraPrecedesInter(t *testing.T) {
+	layers := []Layer{{
+		Name: "a", FwdComp: 1, AllGather: 3,
+		Levels: &LayerLevels{AllGather: LinkCost{Intra: 1, Inter: 2}},
+	}}
+	r := mustSimulate(t, layers, PolicyBackprop)
+	var intra, inter Span
+	for _, s := range r.Spans {
+		if s.Kind != AllGather {
+			continue
+		}
+		if s.Resource == NetworkIntra {
+			intra = s
+		} else {
+			inter = s
+		}
+	}
+	// fwd [0,1], intra ag [1,2], inter ag [2,4].
+	if !approx(intra.Start, 1, 1e-12) || !approx(inter.Start, 2, 1e-12) {
+		t.Fatalf("phases out of order: intra [%g,%g], inter [%g,%g]",
+			intra.Start, intra.End, inter.Start, inter.End)
+	}
+	if !approx(r.Makespan, 4, 1e-12) {
+		t.Fatalf("makespan = %g, want 4 (chained phases)", r.Makespan)
+	}
+}
+
+// Two lanes genuinely overlap: an intra-only collective and an
+// inter-only collective issued together run concurrently, where the
+// single-lane model would serialize them.
+func TestLanesContendIndependently(t *testing.T) {
+	mk := func(split bool) []Layer {
+		l := Layer{Name: "a", FwdComp: 0.1, BwdComp: 0.1, ActReduce: 2, GradReduce: 2}
+		if split {
+			l.Levels = &LayerLevels{
+				ActReduce:  LinkCost{Intra: 2}, // e.g. a column group packed on one node
+				GradReduce: LinkCost{Inter: 2}, // a row group scattered across nodes
+			}
+		}
+		return []Layer{l}
+	}
+	serial := mustSimulate(t, mk(false), PolicyBackprop)
+	overlapped := mustSimulate(t, mk(true), PolicyBackprop)
+	// Flat: one link carries 4s of backward comm after t=0.1 → 4.1s.
+	if !approx(serial.Makespan, 4.1, 1e-12) {
+		t.Fatalf("flat makespan = %g, want 4.1", serial.Makespan)
+	}
+	// Split: the two collectives ride different lanes → 2.1s.
+	if !approx(overlapped.Makespan, 2.1, 1e-12) {
+		t.Fatalf("two-lane makespan = %g, want 2.1", overlapped.Makespan)
+	}
+}
+
+// PolicyNone still serializes everything, including split phases: the
+// makespan is the sum of all durations.
+func TestLevelsPolicyNoneSerializes(t *testing.T) {
+	layers := []Layer{{
+		Name: "a", FwdComp: 1, BwdComp: 2, AllGather: 3, GradReduce: 1,
+		Levels: &LayerLevels{
+			AllGather:  LinkCost{Intra: 1, Inter: 2},
+			GradReduce: LinkCost{Inter: 1},
+		},
+	}}
+	r := mustSimulate(t, layers, PolicyNone)
+	if !approx(r.Makespan, 7, 1e-12) {
+		t.Fatalf("PolicyNone makespan = %g, want serialized 7", r.Makespan)
+	}
+}
+
+// Inconsistent splits fail loudly.
+func TestLevelsValidation(t *testing.T) {
+	cases := map[string]Layer{
+		"sum mismatch": {Name: "x", AllGather: 3,
+			Levels: &LayerLevels{AllGather: LinkCost{Intra: 1, Inter: 1}}},
+		"negative portion": {Name: "x", AllGather: 1,
+			Levels: &LayerLevels{AllGather: LinkCost{Intra: 2, Inter: -1}}},
+		"NaN portion": {Name: "x", AllGather: 1,
+			Levels: &LayerLevels{AllGather: LinkCost{Intra: math.NaN(), Inter: 1}}},
+		"split without flat": {Name: "x",
+			Levels: &LayerLevels{GradReduce: LinkCost{Intra: 1}}},
+	}
+	for name, layer := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			_, _ = SimulateLayers([]Layer{layer}, PolicyBackprop)
+		})
+	}
+}

@@ -27,17 +27,30 @@
 package timeline
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Resource is an execution lane. The model has one compute pipe and one
-// network link per process, matching the paper's flat α–β machine.
+// Resource is an execution lane. On the paper's flat α–β machine the
+// model has one compute pipe and one network link per process; on a
+// two-level machine.Topology the single link splits into an intra-node
+// and an inter-node lane, so collectives on the two levels contend
+// realistically — an intra-node all-reduce does not queue behind an
+// inter-node one. The scheduler serializes each lane independently and
+// accepts any Resource values that appear in the event list.
 type Resource int
 
 const (
 	Compute Resource = iota
+	// Network is the single link of a flat machine. Layers without a
+	// per-level split schedule all communication here.
 	Network
+	// NetworkIntra and NetworkInter are the two lanes of a hierarchical
+	// machine; layers carrying a Levels split schedule each portion of a
+	// collective on its own lane.
+	NetworkIntra
+	NetworkInter
 )
 
 func (r Resource) String() string {
@@ -46,6 +59,10 @@ func (r Resource) String() string {
 		return "compute"
 	case Network:
 		return "network"
+	case NetworkIntra:
+		return "net-intra"
+	case NetworkInter:
+		return "net-inter"
 	}
 	return fmt.Sprintf("Resource(%d)", int(r))
 }
@@ -100,13 +117,46 @@ type Span struct {
 	Start, End float64
 }
 
-// Simulate schedules events greedily on the two resources and returns the
+// readyHeap is a min-heap of ready event IDs for one resource, ordered
+// by (ready time, ID). An event's ready time is fixed before it is
+// pushed (all dependencies scheduled), and within one resource that
+// ordering is invariant under the resource's moving free time: comparing
+// max(ready, free) with ties broken by ready then ID gives the same
+// order for every free — so the heap top is always the resource's best
+// candidate under the scheduler's (start, ready, ID) rule.
+type readyHeap struct {
+	ids     []int
+	readyAt []float64
+}
+
+func (h *readyHeap) Len() int { return len(h.ids) }
+func (h *readyHeap) Less(a, b int) bool {
+	ia, ib := h.ids[a], h.ids[b]
+	if h.readyAt[ia] != h.readyAt[ib] {
+		return h.readyAt[ia] < h.readyAt[ib]
+	}
+	return ia < ib
+}
+func (h *readyHeap) Swap(a, b int) { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *readyHeap) Push(x any)    { h.ids = append(h.ids, x.(int)) }
+func (h *readyHeap) Pop() any {
+	x := h.ids[len(h.ids)-1]
+	h.ids = h.ids[:len(h.ids)-1]
+	return x
+}
+
+// Simulate schedules events greedily on their resources and returns the
 // spans in start order. An event becomes ready when all its dependencies
 // have completed; each resource runs one event at a time; among ready
-// events a resource picks the one with the earliest possible start time
-// (then earliest ready time, then lowest ID). The greedy schedule never
-// idles a resource that has ready work, which makes it the natural model
-// of an MPI progress engine draining a queue of posted operations.
+// events the scheduler picks the one with the earliest possible start
+// time (then earliest ready time, then lowest ID). The greedy schedule
+// never idles a resource that has ready work, which makes it the natural
+// model of an MPI progress engine draining a queue of posted operations.
+//
+// The scheduler keeps one ready-heap per resource, so a round costs
+// O(resources + log n) instead of the previous full O(n) rescan with a
+// per-candidate dependency re-check; schedules are identical to the
+// quadratic scheduler's (TestHeapSchedulerMatchesReference).
 //
 // Durations must be non-negative (Simulate panics otherwise — shape/cost
 // validation fails loudly, as in internal/tensor) and the dependency
@@ -126,40 +176,51 @@ func Simulate(events []Event) ([]Span, error) {
 		}
 	}
 
+	waiting := make([]int, len(events))      // unscheduled dependency count
+	dependents := make([][]int, len(events)) // reverse edges
+	readyAt := make([]float64, len(events))  // max end over scheduled deps
+	for i := range events {
+		for _, d := range events[i].Deps {
+			waiting[i]++
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	heaps := make(map[Resource]*readyHeap)
+	push := func(i int) {
+		h := heaps[events[i].Resource]
+		if h == nil {
+			h = &readyHeap{readyAt: readyAt}
+			heaps[events[i].Resource] = h
+		}
+		heap.Push(h, i)
+	}
+	for i := range events {
+		if waiting[i] == 0 {
+			push(i)
+		}
+	}
+
 	end := make([]float64, len(events))
-	scheduled := make([]bool, len(events))
-	free := map[Resource]float64{Compute: 0, Network: 0}
+	free := make(map[Resource]float64)
 	spans := make([]Span, 0, len(events))
 
 	for len(spans) < len(events) {
-		// Pick, over all unscheduled events whose deps are scheduled, the
-		// one that can start earliest. Scheduling exactly one event per
-		// round keeps FIFO order on each resource correct: an event whose
-		// producer has not been scheduled yet cannot be ready earlier than
-		// the producer's own start.
+		// The winner is the best heap top under (start, ready, ID); map
+		// iteration order does not matter because the ID tiebreak makes
+		// the comparison a total order.
 		best := -1
 		var bestStart, bestReady float64
-		for i := range events {
-			if scheduled[i] {
+		for res, h := range heaps {
+			if h.Len() == 0 {
 				continue
 			}
-			ready := 0.0
-			ok := true
-			for _, d := range events[i].Deps {
-				if !scheduled[d] {
-					ok = false
-					break
-				}
-				if end[d] > ready {
-					ready = end[d]
-				}
-			}
-			if !ok {
-				continue
-			}
-			start := math.Max(ready, free[events[i].Resource])
+			i := h.ids[0]
+			ready := readyAt[i]
+			start := math.Max(ready, free[res])
 			if best == -1 || start < bestStart ||
-				(start == bestStart && ready < bestReady) {
+				(start == bestStart && (ready < bestReady ||
+					(ready == bestReady && i < best))) {
 				best, bestStart, bestReady = i, start, ready
 			}
 		}
@@ -167,10 +228,18 @@ func Simulate(events []Event) ([]Span, error) {
 			return nil, fmt.Errorf("timeline: dependency cycle among %d unscheduled events", len(events)-len(spans))
 		}
 		e := events[best]
-		scheduled[best] = true
+		heap.Pop(heaps[e.Resource])
 		end[best] = bestStart + e.Duration
 		free[e.Resource] = end[best]
 		spans = append(spans, Span{Event: e, Start: bestStart, End: end[best]})
+		for _, dep := range dependents[best] {
+			if readyAt[dep] < end[best] {
+				readyAt[dep] = end[best]
+			}
+			if waiting[dep]--; waiting[dep] == 0 {
+				push(dep)
+			}
+		}
 	}
 	return spans, nil
 }
