@@ -10,6 +10,9 @@
 //	dnnplan -net alexnet -B 512 -P 4096 -mode conv-domain
 //	dnnplan -net vgg16 -B 256 -P 64 -mode auto -overlap
 //	dnnplan -net alexnet -B 2048 -P 512 -policy backprop -gantt
+//	dnnplan -net alexnet -B 2048 -P 512 -policy backprop -micro 1,2,4,8 -schedule 1f1b
+//	                           # micro-batch pipeline search: each grid is
+//	                           # also priced as an M-micro-batch schedule
 //	dnnplan -net alexnet -B 2048 -nodes 64 -ppn 8
 //	                           # two-level topology: 64 nodes × 8 ranks,
 //	                           # searches rank placement × grid
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"dnnparallel/internal/experiments"
 	"dnnparallel/internal/grid"
@@ -37,6 +42,8 @@ func main() {
 	modeName := flag.String("mode", "auto", "conv-layer handling: uniform|conv-batch|conv-domain|auto")
 	overlap := flag.Bool("overlap", false, "assume perfect comm/backprop overlap (Fig. 8, aggregate closed form)")
 	policyName := flag.String("policy", "", "score with the per-layer event-driven timeline under this overlap policy: none|backprop|full (overrides -overlap)")
+	microList := flag.String("micro", "", "comma-separated micro-batch counts to search per grid (entries > 1 need -policy)")
+	scheduleName := flag.String("schedule", "", "pipeline schedule shape for -micro: gpipe|1f1b (default gpipe)")
 	gantt := flag.Bool("gantt", false, "print the best plan's per-layer schedule (needs -policy)")
 	alpha := flag.Float64("alpha", 2e-6, "network latency α (seconds)")
 	bwGB := flag.Float64("bw", 6, "network bandwidth 1/β (GB/s)")
@@ -97,6 +104,32 @@ func main() {
 		}
 		opts.UseTimeline = true
 		opts.TimelinePolicy = pol
+	}
+	if *scheduleName != "" {
+		shape, err := timeline.ParseSchedule(*scheduleName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnnplan:", err)
+			os.Exit(2)
+		}
+		opts.Schedule = shape
+	}
+	microSearch := false
+	if *microList != "" {
+		for _, part := range strings.Split(*microList, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || m < 1 {
+				fmt.Fprintf(os.Stderr, "dnnplan: bad micro-batch count %q\n", part)
+				os.Exit(2)
+			}
+			if m > 1 {
+				microSearch = true
+			}
+			opts.MicroBatches = append(opts.MicroBatches, m)
+		}
+		if microSearch && !opts.UseTimeline {
+			fmt.Fprintln(os.Stderr, "dnnplan: -micro entries > 1 need -policy (pipeline schedules are scored by the timeline simulator)")
+			os.Exit(2)
+		}
 	}
 	opts.Machine.Alpha = *alpha
 	opts.Machine.Beta = 4 / (*bwGB * 1e9)
@@ -164,6 +197,9 @@ func main() {
 	if topoAware {
 		header = append(header, "place")
 	}
+	if microSearch {
+		header = append(header, "µbatch", "bubble")
+	}
 	header = append(header, "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch", "")
 	var rows [][]string
 	for _, p := range res.All {
@@ -173,6 +209,13 @@ func main() {
 				row = append(row, p.Placement.String())
 			} else {
 				row = append(row, "-")
+			}
+		}
+		if microSearch {
+			if p.Feasible {
+				row = append(row, fmt.Sprintf("%d", p.MicroBatch), fmt.Sprintf("%.1f%%", 100*p.BubbleFraction))
+			} else {
+				row = append(row, "-", "-")
 			}
 		}
 		if !p.Feasible {
@@ -191,6 +234,10 @@ func main() {
 		rows = append(rows, row)
 	}
 	fmt.Print(report.Table(header, rows))
+	if microSearch {
+		fmt.Printf("\nBest plan schedule: %v, M=%d micro-batches (bubble %.1f%%)\n",
+			res.Best.Schedule, res.Best.MicroBatch, 100*res.Best.BubbleFraction)
+	}
 
 	if total, comm := res.Speedup(); total > 0 {
 		fmt.Printf("\nSpeedup vs pure batch (1x%d): %.2fx total, %.2fx communication\n", *procs, total, comm)

@@ -10,6 +10,8 @@
 //	dnnsim -exp fig6 -B 1024   # override the batch size
 //	dnnsim -exp timeline -policy backprop -B 2048 -P 512
 //	                           # per-layer event-driven overlap timeline
+//	dnnsim -exp pipeline -micro 1,2,4,8 -schedule 1f1b -B 2048 -P 512
+//	                           # micro-batch sweep: makespan/bubble/stash per M
 //	dnnsim -exp fig6 -nodes 64 -ppn 8
 //	                           # two-level topology: 64 nodes × 8 ranks/node
 package main
@@ -30,16 +32,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|eq5|fig6|fig7|fig8|fig9|fig10|timeline|verify|sensitivity|memory|onebyone|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|eq5|fig6|fig7|fig8|fig9|fig10|timeline|pipeline|verify|sensitivity|memory|onebyone|all")
 	csv := flag.Bool("csv", false, "emit CSV instead of text (scaling experiments)")
 	batch := flag.Int("B", 2048, "global minibatch size for strong-scaling experiments")
 	beyondB := flag.Int("B10", 512, "batch size for the beyond-batch experiment (fig10)")
 	ps := flag.String("P", "", "comma-separated process counts (defaults per experiment)")
-	policy := flag.String("policy", "backprop", "overlap policy for -exp timeline: none|backprop|full")
+	policy := flag.String("policy", "backprop", "overlap policy for -exp timeline/pipeline: none|backprop|full")
+	micro := flag.String("micro", "1,2,4,8,16,32", "comma-separated micro-batch counts for -exp pipeline")
+	schedule := flag.String("schedule", "gpipe", "pipeline schedule shape for -exp pipeline: gpipe|1f1b")
 	calibrate := flag.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
-	ppn := flag.Int("ppn", 0, "ranks per node; > 0 makes the planner-backed experiments (fig6–10, timeline, memory) price against the two-level Cori topology (10× intra-node bandwidth) and search rank placements; single-process and sweep experiments (fig4, eq5, sensitivity) are unaffected")
+	ppn := flag.Int("ppn", 0, "ranks per node; > 0 makes the planner-backed experiments (fig6–10, timeline, pipeline, memory) price against the two-level Cori topology (10× intra-node bandwidth) and search rank placements; single-process and sweep experiments (fig4, eq5, sensitivity) are unaffected")
 	nodes := flag.Int("nodes", 0, "node count (with -ppn, defaults the process counts to nodes × ppn)")
 	flag.Parse()
+
+	// Parse the enum-valued flags up front so a typo exits with the parse
+	// error even when the selected experiment would not consume the flag
+	// this run — never silently fall back to a default.
+	pol, err := timeline.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnsim:", err)
+		os.Exit(2)
+	}
+	shape, err := timeline.ParseSchedule(*schedule)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnsim:", err)
+		os.Exit(2)
+	}
+	micros := parseMicros(*micro)
 
 	s := experiments.Default()
 	if *nodes > 0 && *ppn <= 0 {
@@ -111,10 +130,6 @@ func main() {
 			emitScaling(fmt.Sprintf("Fig. 10 — scaling beyond the P=B=%d limit with domain-parallel convs", *beyondB),
 				res, *csv, s.DatasetN)
 		case "timeline":
-			pol, err := timeline.ParsePolicy(*policy)
-			if err != nil {
-				return err
-			}
 			var studies []experiments.TimelineResult
 			for _, P := range parsePs(*ps, experiments.StandardFig6Ps()) {
 				tr, err := s.TimelineStudy(planner.Auto, pol, *batch, P)
@@ -130,6 +145,23 @@ func main() {
 			}
 			if *csv {
 				fmt.Print(experiments.TimelineCSV(studies))
+			}
+		case "pipeline":
+			var all []experiments.PipelineRow
+			for _, P := range parsePs(*ps, []int{512}) {
+				rows, err := s.PipelineSweep(planner.Auto, pol, shape, *batch, P, micros)
+				if err != nil {
+					return err
+				}
+				if *csv {
+					all = append(all, rows...)
+					continue
+				}
+				fmt.Print(experiments.RenderPipeline(rows))
+				fmt.Println()
+			}
+			if *csv {
+				fmt.Print(experiments.PipelineCSV(all))
 			}
 		case "verify":
 			reps, err := experiments.VerifyEngines(4, 8, 7, machine.CoriKNL())
@@ -173,7 +205,7 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig4", "eq5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"timeline", "verify", "sensitivity", "memory", "onebyone", "modelcheck", "convergence"}
+			"timeline", "pipeline", "verify", "sensitivity", "memory", "onebyone", "modelcheck", "convergence"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {
@@ -200,6 +232,19 @@ func parsePs(s string, def []int) []int {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 1 {
 			fmt.Fprintf(os.Stderr, "dnnsim: bad process count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseMicros(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "dnnsim: bad micro-batch count %q\n", part)
 			os.Exit(2)
 		}
 		out = append(out, v)

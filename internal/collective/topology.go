@@ -10,10 +10,13 @@
 //   - mixed: a hierarchical decomposition — e.g. all-reduce = intra-node
 //     reduce-scatter + inter-node all-reduce of the node-local shard +
 //     intra-node all-gather (Rabenseifner's algorithm on a fat-node
-//     machine). For balanced spans the bandwidth terms telescope back to
-//     the flat (p−1)/p factor when both links are equal, so the
-//     hierarchy prices congestion, not extra volume; only the latency
-//     term grows (⌈log m⌉ + ⌈log nodes⌉ ≥ ⌈log p⌉).
+//     machine). The concurrent inter-node "planes" (one per rank sharing
+//     a node) serialize on the node's single inter-node link
+//     (serializePlanes): an all-gather's plane slices telescope back to
+//     the full-words bandwidth term, while the all-reduce planes each
+//     move a full per-rank shard and the NIC pays all of them — mixed
+//     spans are genuinely more expensive than one-rank-per-node spans of
+//     the same group size, which is what a per-node NIC does.
 //
 // A uniform topology (identical links — machine.Flat embeddings) always
 // takes the flat closed form, bit-for-bit: topology-aware pricing is a
@@ -45,6 +48,14 @@ func atLevel(c Cost, intra bool) Cost {
 	return c
 }
 
+// serializePlanes prices the concurrent per-plane collectives of a mixed
+// group forced through each node's single inter-node link: a node with k
+// local ranks runs k rank planes of the hierarchical decomposition "in
+// parallel", but they share one NIC, so their inter-node phases serialize
+// end to end (the ROADMAP congestion item — previously the planes were
+// modeled as contention-free, i.e. one NIC per rank).
+func serializePlanes(c Cost, planes int) Cost { return c.Scale(float64(planes)) }
+
 // AllGatherTopo prices the all-gather of words total words over a group
 // with node span s. Mixed groups decompose into an intra-node all-gather
 // of the node-local chunk followed by inter-node all-gathers running in
@@ -64,7 +75,12 @@ func AllGatherTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost {
 	}
 	// Largest node chunk: words·MaxPerNode/p.
 	intra := atLevel(AllGather(s.MaxPerNode, words*float64(s.MaxPerNode)/float64(s.Ranks), onLink(t.Intra)), true)
-	inter := atLevel(AllGather(s.Nodes, words, onLink(t.Inter)), false)
+	// Each of the node's MaxPerNode rank planes all-gathers a
+	// words/MaxPerNode slice across nodes; the planes serialize on the
+	// NIC, so the bandwidth term telescopes back to the full words while
+	// each plane pays its own latency rounds.
+	inter := atLevel(serializePlanes(
+		AllGather(s.Nodes, words/float64(s.MaxPerNode), onLink(t.Inter)), s.MaxPerNode), false)
 	return intra.Add(inter)
 }
 
@@ -88,7 +104,14 @@ func AllReduceTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost {
 	}
 	intra := atLevel(ReduceScatter(s.MaxPerNode, words, onLink(t.Intra)).
 		Add(AllGather(s.MaxPerNode, words, onLink(t.Intra))), true)
-	inter := atLevel(AllReduce(s.Nodes, words/float64(s.MinPerNode), onLink(t.Inter)), false)
+	// The busiest node's NIC governs: its MaxPerNode rank planes each
+	// all-reduce that node's words/MaxPerNode shard slice across nodes,
+	// serialized on the single link — the bandwidth telescopes to the
+	// full reduced vector per ring pass (every node pushes all of words
+	// once, however many ranks it hosts) while the latency scales with
+	// the plane count.
+	inter := atLevel(serializePlanes(
+		AllReduce(s.Nodes, words/float64(s.MaxPerNode), onLink(t.Inter)), s.MaxPerNode), false)
 	return intra.Add(inter)
 }
 
@@ -108,7 +131,8 @@ func ReduceScatterTopo(s grid.NodeSpan, words float64, t machine.Topology) Cost 
 		return atLevel(ReduceScatter(s.Ranks, words, onLink(t.Inter)), false)
 	}
 	intra := atLevel(ReduceScatter(s.MaxPerNode, words, onLink(t.Intra)), true)
-	inter := atLevel(ReduceScatter(s.Nodes, words/float64(s.MinPerNode), onLink(t.Inter)), false)
+	inter := atLevel(serializePlanes(
+		ReduceScatter(s.Nodes, words/float64(s.MaxPerNode), onLink(t.Inter)), s.MaxPerNode), false)
 	return intra.Add(inter)
 }
 

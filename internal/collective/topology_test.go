@@ -72,7 +72,8 @@ func TestSingleLevelClassification(t *testing.T) {
 
 // Hand-computed hierarchical all-reduce: 8 ranks as 2 nodes × 4, n words.
 // intra: reduce-scatter + all-gather over 4 = 2(α_i·2 + β_i·(3/4)n);
-// inter: all-reduce over 2 nodes of n/4 = 2(α_I·1 + β_I·(1/2)(n/4)).
+// inter: 4 rank planes, each an all-reduce over 2 nodes of n/4 words,
+// serialized on the node's single NIC = 4 · 2(α_I·1 + β_I·(1/2)(n/4)).
 func TestHierarchicalAllReduceHandComputed(t *testing.T) {
 	topo := machine.CoriKNLNodes(4)
 	ai, bi := topo.Intra.Alpha, topo.Intra.Beta
@@ -81,7 +82,7 @@ func TestHierarchicalAllReduceHandComputed(t *testing.T) {
 
 	got := AllReduceTopo(span(8, 2, 4, 4), n, topo)
 	wantIntra := 2 * (ai*2 + bi*(3.0/4.0)*n)
-	wantInter := 2 * (aI*1 + bI*0.5*(n/4))
+	wantInter := 4 * 2 * (aI*1 + bI*0.5*(n/4))
 	if math.Abs(got.Intra-wantIntra) > 1e-15*wantIntra {
 		t.Fatalf("intra portion = %g, want %g", got.Intra, wantIntra)
 	}
@@ -93,10 +94,55 @@ func TestHierarchicalAllReduceHandComputed(t *testing.T) {
 	}
 }
 
-// For balanced spans the hierarchical bandwidth term telescopes to the
-// flat (p−1)/p factor when both links share β: the decomposition adds
-// latency steps, never volume.
-func TestHierarchicalBandwidthConservation(t *testing.T) {
+// Regression for the ROADMAP NIC-congestion item: the mixed-span
+// all-reduce must cost MORE than the old uncontended-planes model (one
+// plane's inter cost), because the node's MaxPerNode concurrent planes
+// serialize on its single inter-node link. The busiest node's NIC
+// governs: MaxPerNode planes each carrying that node's words/MaxPerNode
+// shard slice, so the serialized bandwidth is the full vector per ring
+// pass and the latency scales with the plane count.
+func TestMixedSpanAllReduceSerializesPlanes(t *testing.T) {
+	topo := machine.CoriKNLNodes(4)
+	inter := machine.Machine{Alpha: topo.Inter.Alpha, Beta: topo.Inter.Beta}
+	const n = 4e6
+	s := span(8, 2, 4, 4)
+	got := AllReduceTopo(s, n, topo)
+	onePlane := AllReduce(s.Nodes, n/float64(s.MinPerNode), inter)
+	uncontended := got.Intra + onePlane.Total() // the pre-fix total
+	if got.Total() <= uncontended {
+		t.Fatalf("serialized mixed-span all-reduce %g must exceed the uncontended-planes model %g",
+			got.Total(), uncontended)
+	}
+	want := got.Intra + float64(s.MaxPerNode)*AllReduce(s.Nodes, n/float64(s.MaxPerNode), inter).Total()
+	if math.Abs(got.Total()-want) > 1e-15*want {
+		t.Fatalf("serialized mixed-span all-reduce = %g, want intra + MaxPerNode·plane = %g", got.Total(), want)
+	}
+
+	// Unbalanced span (5 ranks over 2 nodes, 3+2): the busiest NIC moves
+	// the full vector once per ring pass — NOT MaxPerNode planes of the
+	// thin node's larger words/MinPerNode shards, which no single node
+	// ever sends.
+	u := span(5, 2, 3, 2)
+	gotU := AllReduceTopo(u, n, topo)
+	wantInter := AllReduce(u.Nodes, n/float64(u.MaxPerNode), inter).Scale(float64(u.MaxPerNode))
+	if math.Abs(gotU.Inter-wantInter.Total()) > 1e-15*wantInter.Total() {
+		t.Fatalf("unbalanced inter portion = %g, want busiest-NIC %g", gotU.Inter, wantInter.Total())
+	}
+	overcounted := AllReduce(u.Nodes, n/float64(u.MinPerNode), inter).Scale(float64(u.MaxPerNode))
+	if gotU.Inter >= overcounted.Total() {
+		t.Fatalf("unbalanced inter %g must stay below the Max-planes×Min-shards overcount %g",
+			gotU.Inter, overcounted.Total())
+	}
+}
+
+// Balanced-span bandwidth accounting with equal β at both levels: the
+// all-gather's serialized plane slices telescope back to the flat
+// (p−1)/p factor (the NIC moves the result once either way), while the
+// all-reduce and reduce-scatter now pay the NIC serialization — each of
+// the m planes pushes its full per-rank shard through the node's single
+// link, so the hierarchical bandwidth is (m−1)/m + (n−1)/n of the
+// volume, strictly above the flat (p−1)/p.
+func TestHierarchicalBandwidthAccounting(t *testing.T) {
 	m := machine.CoriKNL()
 	// Same β at both levels, but zero latency so only bandwidth shows;
 	// differing alphas keep the topology non-uniform.
@@ -109,20 +155,33 @@ func TestHierarchicalBandwidthConservation(t *testing.T) {
 	const words = 1e6
 	for _, c := range []struct{ p, nodes, per int }{{8, 2, 4}, {16, 4, 4}, {64, 16, 4}, {6, 3, 2}} {
 		s := span(c.p, c.nodes, c.per, c.per)
+		mm, nn := float64(c.per), float64(c.nodes)
+		congested := (mm-1)/mm + (nn-1)/nn // per ring pass, in units of β·words
+
 		flat := AllReduce(c.p, words, m).Bandwidth
 		got := AllReduceTopo(s, words, topo).Bandwidth
-		if math.Abs(got-flat) > 1e-12*flat {
-			t.Fatalf("all-reduce %d=%dx%d: hierarchical bandwidth %g != flat %g", c.p, c.nodes, c.per, got, flat)
+		want := 2 * m.Beta * words * congested
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("all-reduce %d=%dx%d: hierarchical bandwidth %g, want %g", c.p, c.nodes, c.per, got, want)
 		}
+		if got <= flat {
+			t.Fatalf("all-reduce %d=%dx%d: NIC-serialized bandwidth %g must exceed flat %g", c.p, c.nodes, c.per, got, flat)
+		}
+
 		flat = AllGather(c.p, words, m).Bandwidth
 		got = AllGatherTopo(s, words, topo).Bandwidth
 		if math.Abs(got-flat) > 1e-12*flat {
 			t.Fatalf("all-gather %d=%dx%d: hierarchical bandwidth %g != flat %g", c.p, c.nodes, c.per, got, flat)
 		}
+
 		flat = ReduceScatter(c.p, words, m).Bandwidth
 		got = ReduceScatterTopo(s, words, topo).Bandwidth
-		if math.Abs(got-flat) > 1e-12*flat {
-			t.Fatalf("reduce-scatter %d=%dx%d: hierarchical bandwidth %g != flat %g", c.p, c.nodes, c.per, got, flat)
+		want = m.Beta * words * congested
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("reduce-scatter %d=%dx%d: hierarchical bandwidth %g, want %g", c.p, c.nodes, c.per, got, want)
+		}
+		if got <= flat {
+			t.Fatalf("reduce-scatter %d=%dx%d: NIC-serialized bandwidth %g must exceed flat %g", c.p, c.nodes, c.per, got, flat)
 		}
 	}
 }

@@ -1,9 +1,12 @@
 package costmodel
 
 import (
+	"fmt"
+
 	"dnnparallel/internal/grid"
 	"dnnparallel/internal/machine"
 	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
 )
 
 // Per-process memory model of the Section 4 discussion: "the 1.5D
@@ -73,6 +76,38 @@ func Memory(net *nn.Network, B int, g grid.Grid, assign Assignment) MemoryEstima
 			m.ActivationWords += float64(B) / float64(g.P()) * (din + dout)
 		}
 	}
+	return m
+}
+
+// PipelineInFlight returns the peak number of micro-batches whose
+// activations a process must stash simultaneously under the schedule:
+// a gpipe fill–drain stashes all M micro-batches (every forward
+// completes before the first backward starts), while 1f1b's steady
+// state caps the stash at the pipeline depth, min(M, S) — the memory
+// argument for interleaved schedules.
+func PipelineInFlight(sched timeline.Schedule) int {
+	if sched.Shape == timeline.OneFOneB && sched.Stages < sched.MicroBatches {
+		return sched.Stages
+	}
+	return sched.MicroBatches
+}
+
+// MemoryPipeline estimates the per-process memory of training net at
+// global batch B on grid g under an M-micro-batch pipeline schedule.
+// Weight and gradient footprints are those of Memory (gradients
+// accumulate in place across micro-batches), while the activation
+// high-water mark is the per-micro-batch activation footprint (batch
+// size B/M) times the number of in-flight micro-batches the schedule
+// forces (PipelineInFlight). With M = 1 every schedule reproduces
+// Memory exactly. M must divide B (panic otherwise, matching the
+// fail-loudly convention of EpochIterations).
+func MemoryPipeline(net *nn.Network, B int, g grid.Grid, assign Assignment, sched timeline.Schedule) MemoryEstimate {
+	M := sched.MicroBatches
+	if M < 1 || B%M != 0 {
+		panic(fmt.Sprintf("costmodel: MemoryPipeline needs a micro-batch count dividing B, got M=%d B=%d", M, B))
+	}
+	m := Memory(net, B/M, g, assign)
+	m.ActivationWords *= float64(PipelineInFlight(sched))
 	return m
 }
 

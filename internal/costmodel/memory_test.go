@@ -2,11 +2,13 @@ package costmodel
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"dnnparallel/internal/grid"
 	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
 )
 
 // TestMemoryPureBatchReplicatesModel: at Pr = 1 every process holds the
@@ -134,5 +136,85 @@ func TestMemoryGradientMirrorsWeights(t *testing.T) {
 		if m.GradientWords != m.WeightWords {
 			t.Fatalf("gradient words %g ≠ weight words %g", m.GradientWords, m.WeightWords)
 		}
+	}
+}
+
+// MemoryPipeline with one micro-batch must reproduce Memory exactly —
+// every field, bit for bit — for both schedule shapes, any stage count,
+// and random nets, grids, and assignments.
+func TestMemoryPipelineSingleReproducesMemory(t *testing.T) {
+	f := func(seed int64, prRaw, pcRaw, bRaw uint8, stagesRaw uint8, shapeRaw bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNetwork(rng)
+		if net == nil {
+			return true
+		}
+		g := grid.Grid{Pr: 1 + int(prRaw)%16, Pc: 1 + int(pcRaw)%16}
+		B := g.Pc * (1 + int(bRaw)%32)
+		assign := ConvAssignment(net, []Strategy{Model, Domain, BatchOnly}[int(seed%3+3)%3], Model)
+		shape := timeline.GPipe
+		if shapeRaw {
+			shape = timeline.OneFOneB
+		}
+		sched := timeline.Schedule{Shape: shape, MicroBatches: 1, Stages: 1 + int(stagesRaw)%8}
+		return MemoryPipeline(net, B, g, assign, sched) == Memory(net, B, g, assign)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The activation high-water mark is monotone in the number of in-flight
+// micro-batches: deeper 1f1b pipelines stash more, and the gpipe flush
+// (all M in flight) is the upper envelope.
+func TestMemoryPipelineStashMonotone(t *testing.T) {
+	net := nn.AlexNet()
+	g := grid.Grid{Pr: 8, Pc: 8}
+	const B, M = 1024, 16
+	assign := UniformAssignment(net, Model)
+	prev := 0.0
+	for _, S := range []int{1, 2, 4, 8, 16} {
+		sched := timeline.Schedule{Shape: timeline.OneFOneB, MicroBatches: M, Stages: S}
+		if got, want := PipelineInFlight(sched), S; got != want {
+			t.Fatalf("1f1b S=%d M=%d: in-flight %d, want min(M,S)=%d", S, M, got, want)
+		}
+		act := MemoryPipeline(net, B, g, assign, sched).ActivationWords
+		if act <= prev {
+			t.Fatalf("1f1b S=%d: stash %g did not grow beyond %g", S, act, prev)
+		}
+		prev = act
+	}
+	gp := timeline.Schedule{Shape: timeline.GPipe, MicroBatches: M, Stages: 4}
+	if got, want := PipelineInFlight(gp), M; got != want {
+		t.Fatalf("gpipe in-flight %d, want all %d", got, want)
+	}
+	gpAct := MemoryPipeline(net, B, g, assign, gp).ActivationWords
+	if gpAct < prev {
+		t.Fatalf("gpipe stash %g must be the upper envelope (1f1b deepest: %g)", gpAct, prev)
+	}
+	// Weight and gradient footprints are micro-batch independent.
+	base := Memory(net, B, g, assign)
+	pm := MemoryPipeline(net, B, g, assign, gp)
+	if pm.WeightWords != base.WeightWords || pm.GradientWords != base.GradientWords {
+		t.Fatal("pipeline must not change weight/gradient footprints")
+	}
+}
+
+// Invalid micro-batch counts fail loudly.
+func TestMemoryPipelinePanicsOnBadM(t *testing.T) {
+	net := nn.AlexNet()
+	g := grid.Grid{Pr: 4, Pc: 4}
+	for _, sched := range []timeline.Schedule{
+		{Shape: timeline.GPipe, MicroBatches: 0, Stages: 1},
+		{Shape: timeline.GPipe, MicroBatches: 3, Stages: 1}, // 3 ∤ 64
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("M=%d: expected a panic", sched.MicroBatches)
+				}
+			}()
+			MemoryPipeline(net, 64, g, nil, sched)
+		}()
 	}
 }

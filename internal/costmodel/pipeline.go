@@ -1,0 +1,106 @@
+// Pipeline pricing: one full M-micro-batch iteration against the
+// environment's topology. The paper's Eqs. 3–9 (and the single-iteration
+// timeline built on them) price exactly one bulk-synchronous iteration;
+// splitting the global batch B into M micro-batches of B/M and streaming
+// them through a timeline.Schedule exposes the regime the closed forms
+// cannot see — inter-batch pipelining hides communication no
+// intra-iteration overlap policy can, at the price of the α-term penalty
+// of B/M-sized messages and the activation stash of in-flight
+// micro-batches (see the local-updates line of work in PAPERS.md).
+package costmodel
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/compute"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
+)
+
+// PipelineCost is one priced pipeline iteration.
+type PipelineCost struct {
+	// Result is the simulated multi-iteration schedule: makespan, bubble
+	// fraction, per-resource idle attribution.
+	Result *timeline.Result
+	// Breakdown carries the per-MICRO-BATCH communication costs (Eq. 3–9
+	// terms re-derived at batch size B/M, where the α term of small
+	// messages becomes visible). The ∆W all-reduce appears once per layer
+	// in the schedule (deferred to the flush) even though the breakdown
+	// lists it per micro-batch; its cost is batch-size independent.
+	Breakdown *Breakdown
+	// Overhead is the residual per-iteration compute the schedule does
+	// not simulate: the fixed framework cost (paid once per iteration)
+	// plus the unweighted-layer compute (paid once per micro-batch).
+	Overhead float64
+}
+
+// IterSeconds is the priced iteration time: schedule makespan plus the
+// unsimulated overhead.
+func (pc PipelineCost) IterSeconds() float64 { return pc.Result.Makespan + pc.Overhead }
+
+// validatePipeline checks the (B, M, grid) combination: micro-batches
+// must tile the global batch exactly and still feed every grid column at
+// least one sample.
+func validatePipeline(B int, g grid.Grid, sched timeline.Schedule) error {
+	M := sched.MicroBatches
+	if M < 1 {
+		return fmt.Errorf("costmodel: need ≥ 1 micro-batch, got M=%d", M)
+	}
+	if B%M != 0 {
+		return fmt.Errorf("costmodel: micro-batch count M=%d does not divide batch size B=%d", M, B)
+	}
+	if micro := B / M; micro < g.Pc {
+		return fmt.Errorf("costmodel: micro-batch size B/M=%d is thinner than Pc=%d (one sample per grid column)", micro, g.Pc)
+	}
+	return nil
+}
+
+// PipelineIteration prices one M-micro-batch pipelined iteration of net
+// at global batch B on grid g under the Eq. 9 assignment: every
+// communication term is re-derived at micro-batch size B/M against the
+// environment's topology and placement, the per-layer compute is split
+// at micro-batch GEMM efficiency (smaller local GEMMs run less
+// efficiently — the micro-batching tax on the compute side), and the
+// whole micro-batch stream is scheduled by timeline.SimulatePipeline
+// under the given overlap policy and schedule shape.
+//
+// Accounting choices, in words:
+//   - the ∆W all-reduce is deferred to the flush (one collective per
+//     layer per iteration, issued with the last micro-batch's backprop);
+//   - the per-micro-batch weight-update term of compute.GridLayerTimes
+//     models the local gradient *accumulation* across micro-batches
+//     (same read-modify-write traffic as an update), so backward compute
+//     stays comparable across M;
+//   - compute.Model.FixedIter is paid once per iteration, while the
+//     unweighted-layer compute (pooling etc.) recurs per micro-batch.
+func (e Env) PipelineIteration(net *nn.Network, B int, g grid.Grid, assign Assignment,
+	cm compute.Model, policy timeline.Policy, sched timeline.Schedule) (PipelineCost, error) {
+	if err := validatePipeline(B, g, sched); err != nil {
+		return PipelineCost{}, err
+	}
+	M := sched.MicroBatches
+	micro := B / M
+	b := e.FullIntegrated(net, micro, g, assign)
+	times, ov := cm.GridLayerTimes(net, micro, g)
+	res, err := timeline.SimulatePipeline(TimelineLayers(b, times), policy, sched)
+	if err != nil {
+		return PipelineCost{}, err
+	}
+	return PipelineCost{
+		Result:    res,
+		Breakdown: b,
+		Overhead:  cm.FixedIter + float64(M)*(ov-cm.FixedIter),
+	}, nil
+}
+
+// PipelineIterationSeconds is the scalar convenience form of
+// PipelineIteration.
+func (e Env) PipelineIterationSeconds(net *nn.Network, B int, g grid.Grid, assign Assignment,
+	cm compute.Model, policy timeline.Policy, sched timeline.Schedule) (float64, error) {
+	pc, err := e.PipelineIteration(net, B, g, assign, cm, policy, sched)
+	if err != nil {
+		return 0, err
+	}
+	return pc.IterSeconds(), nil
+}

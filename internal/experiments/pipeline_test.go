@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
+)
+
+func TestPipelineSweep(t *testing.T) {
+	s := Default()
+	Ms := []int{1, 2, 4, 3} // 3 ∤ 2048: exercises the infeasible path
+	rows, err := s.PipelineSweep(planner.Auto, timeline.PolicyBackprop, timeline.GPipe, 2048, 64, Ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Ms) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Ms))
+	}
+	for i, r := range rows[:3] {
+		if !r.Feasible {
+			t.Fatalf("M=%d: infeasible: %s", Ms[i], r.Reason)
+		}
+		if r.M != Ms[i] || r.B != 2048 || r.P != 64 {
+			t.Fatalf("row %d carries wrong coordinates: %+v", i, r)
+		}
+		if r.IterSeconds <= 0 || r.MemoryWords <= 0 {
+			t.Fatalf("M=%d: non-positive makespan/memory: %+v", Ms[i], r)
+		}
+		if r.BubbleFraction < 0 || r.BubbleFraction >= 1 {
+			t.Fatalf("M=%d: bubble fraction %g out of range", Ms[i], r.BubbleFraction)
+		}
+	}
+	// M=3 does not divide B on any grid: the whole planner run fails and
+	// the row records why instead of aborting the sweep.
+	if rows[3].Feasible {
+		t.Fatal("M=3 at B=2048 should be infeasible")
+	}
+
+	text := RenderPipeline(rows)
+	if !strings.Contains(text, "← best") || !strings.Contains(text, "bubble") {
+		t.Fatalf("render lacks the best marker or bubble column:\n%s", text)
+	}
+	csv := PipelineCSV(rows)
+	if !strings.Contains(csv, "bubble_fraction") || !strings.Contains(csv, "memory_words") {
+		t.Fatalf("CSV lacks the promised columns:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != len(Ms)+1 {
+		t.Fatalf("CSV has %d lines, want header + %d rows", got, len(Ms))
+	}
+}
+
+// The gpipe stash grows with M while the 1f1b stash (S = 1: one
+// micro-batch in flight) shrinks — the sweep exposes the memory argument
+// for interleaved schedules.
+func TestPipelineSweepStashShapes(t *testing.T) {
+	s := Default()
+	Ms := []int{2, 8}
+	gp, err := s.PipelineSweep(planner.Uniform, timeline.PolicyBackprop, timeline.GPipe, 2048, 64, Ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := s.PipelineSweep(planner.Uniform, timeline.PolicyBackprop, timeline.OneFOneB, 2048, 64, Ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range Ms {
+		if !gp[i].Feasible || !ob[i].Feasible {
+			t.Fatalf("M=%d: unexpected infeasibility", Ms[i])
+		}
+		if gp[i].Grid == ob[i].Grid && ob[i].MemoryWords >= gp[i].MemoryWords {
+			t.Fatalf("M=%d grid %v: 1f1b stash %g should undercut gpipe %g",
+				Ms[i], gp[i].Grid, ob[i].MemoryWords, gp[i].MemoryWords)
+		}
+	}
+}

@@ -101,6 +101,26 @@ type Options struct {
 	// baseline); PolicyBackprop generalizes Fig. 8 per layer; PolicyFull
 	// models an idealized asynchronous pipeline.
 	TimelinePolicy timeline.Policy
+	// MicroBatches lists the candidate micro-batch counts M for
+	// pipeline-parallel scheduling. Empty means {1}: no pipelining, the
+	// legacy single-iteration scoring, bit-identical to the pre-pipeline
+	// planner. Entries > 1 score an M-micro-batch schedule via
+	// costmodel.PipelineIteration and require UseTimeline (Optimize
+	// rejects them otherwise); candidates that do not divide B or leave
+	// a micro-batch thinner than Pc are skipped as infeasible. Each grid
+	// reports its best M (Plan.MicroBatch).
+	MicroBatches []int
+	// Schedule is the pipeline schedule shape used for candidates with
+	// M > 1 (timeline.GPipe fill–drain or timeline.OneFOneB). The shape
+	// decides the activation stash the memory constraint prices:
+	// gpipe stashes all M in-flight micro-batches, 1f1b min(M, S).
+	Schedule timeline.Shape
+	// PipelineStages is the stage count S of the pipeline schedule
+	// (0 ⇒ 1). S = 1 is inter-batch pipelining on one device group —
+	// the natural setting for the paper's grids, where every process
+	// executes every layer; S > 1 partitions the layer list into S
+	// contiguous stages with their own simulated compute/network lanes.
+	PipelineStages int
 }
 
 // DefaultOptions returns the paper's Table 1 configuration.
@@ -133,6 +153,24 @@ func (o Options) placements() []grid.Placement {
 	return grid.Placements()
 }
 
+// microBatches returns the micro-batch search space (see
+// Options.MicroBatches).
+func (o Options) microBatches() []int {
+	if len(o.MicroBatches) > 0 {
+		return o.MicroBatches
+	}
+	return []int{1}
+}
+
+// schedule assembles the timeline.Schedule for a candidate M.
+func (o Options) schedule(m int) timeline.Schedule {
+	stages := o.PipelineStages
+	if stages < 1 {
+		stages = 1
+	}
+	return timeline.Schedule{Shape: o.Schedule, MicroBatches: m, Stages: stages}
+}
+
 // Plan is one evaluated configuration.
 type Plan struct {
 	Grid grid.Grid
@@ -143,11 +181,23 @@ type Plan struct {
 	Assignment costmodel.Assignment
 	Breakdown  *costmodel.Breakdown
 
+	// MicroBatch is the micro-batch count the plan was priced at (1 =
+	// single-iteration scoring); Schedule is the pipeline shape used
+	// when MicroBatch > 1, and BubbleFraction the schedule's compute
+	// bubble (0 for single-iteration plans on one stage only when fully
+	// hidden — see timeline.Result.BubbleFraction).
+	MicroBatch     int
+	Schedule       timeline.Shape
+	BubbleFraction float64
+
 	CommSeconds  float64 // per-iteration communication
 	CompSeconds  float64 // per-iteration computation
 	IterSeconds  float64 // combined (with overlap if requested)
 	EpochSeconds float64 // IterSeconds × ⌈N/B⌉ (0 when DatasetN unset)
-	MemoryWords  float64 // per-process footprint (costmodel.Memory)
+	// MemoryWords is the per-process footprint: costmodel.Memory for
+	// single-iteration plans, costmodel.MemoryPipeline (activation-stash
+	// high-water mark) for pipelined ones.
+	MemoryWords float64
 	// ExposedCommSeconds is the communication the schedule could not hide
 	// behind computation (IterSeconds − CompSeconds, ≥ 0).
 	ExposedCommSeconds float64
@@ -273,9 +323,31 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 	return best
 }
 
-// EvaluateAt prices one (grid, placement, mode) configuration.
+// EvaluateAt prices one (grid, placement, mode) configuration over the
+// micro-batch search space (Options.MicroBatches) and returns the best
+// candidate's plan. Ties keep the smaller M, so the legacy M = 1 scoring
+// wins unless pipelining strictly helps.
 func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options) Plan {
-	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode}
+	micros := opts.microBatches()
+	best := evaluateMicroAt(net, B, g, pl, opts, micros[0])
+	for _, m := range micros[1:] {
+		if p := evaluateMicroAt(net, B, g, pl, opts, m); p.Feasible &&
+			(!best.Feasible || p.IterSeconds < best.IterSeconds ||
+				(p.IterSeconds == best.IterSeconds && p.MicroBatch < best.MicroBatch)) {
+			best = p
+		}
+	}
+	return best
+}
+
+// evaluateMicroAt prices one (grid, placement, mode, M) configuration:
+// the legacy single-iteration scoring for M = 1, the pipeline schedule
+// for M > 1.
+func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int) Plan {
+	if micro != 1 {
+		return evaluatePipelineAt(net, B, g, pl, opts, micro)
+	}
+	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
@@ -313,6 +385,7 @@ func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Opt
 			return p
 		}
 		p.Timeline = res
+		p.BubbleFraction = res.BubbleFraction
 		// The fixed per-iteration overhead (and unweighted-layer compute)
 		// belongs to no layer; it extends the compute pipe and overlaps
 		// nothing.
@@ -325,6 +398,69 @@ func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Opt
 		// The redistribution all-gather blocks the next layer's compute,
 		// so it is never overlapped.
 		r := env.RedistributionSeconds(net, B, g, p.Assignment)
+		p.CommSeconds += r
+		p.IterSeconds += r
+	}
+	p.ExposedCommSeconds = math.Max(0, p.IterSeconds-p.CompSeconds)
+	if opts.DatasetN > 0 {
+		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
+	}
+	return p
+}
+
+// evaluatePipelineAt prices one (grid, placement, mode) configuration as
+// an M-micro-batch pipeline schedule: communication re-derived at
+// micro-batch size B/M, the memory constraint applied to the
+// activation-stash high-water mark, and the iteration scored by the
+// multi-iteration timeline simulator.
+func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int) Plan {
+	sched := opts.schedule(micro)
+	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape}
+	ok, reason := feasible(net, B, g, opts.Mode)
+	if !ok {
+		p.Reason = reason
+		return p
+	}
+	if opts.MaxPc > 0 && g.Pc > opts.MaxPc {
+		p.Reason = fmt.Sprintf("Pc=%d exceeds the batch-parallelism cap %d", g.Pc, opts.MaxPc)
+		return p
+	}
+	if micro < 1 || B%micro != 0 {
+		p.Reason = fmt.Sprintf("micro-batch count %d does not divide B=%d", micro, B)
+		return p
+	}
+	if B/micro < g.Pc {
+		p.Reason = fmt.Sprintf("micro-batch size %d is thinner than Pc=%d", B/micro, g.Pc)
+		return p
+	}
+	env := costmodel.Env{Topo: opts.topology(), Placement: pl}
+	// The per-layer strategy is chosen at the micro-batch size the
+	// schedule actually runs: α-heavy small messages can flip a conv
+	// layer's cheapest strategy relative to the full-batch choice.
+	p.Assignment = assignmentFor(net, B/micro, g, opts.Mode, env)
+	p.MemoryWords = costmodel.MemoryPipeline(net, B, g, p.Assignment, sched).TotalWords()
+	if opts.MemoryLimitWords > 0 && p.MemoryWords > opts.MemoryLimitWords {
+		p.Reason = fmt.Sprintf("activation stash: per-process memory %.3g words exceeds limit %.3g",
+			p.MemoryWords, opts.MemoryLimitWords)
+		return p
+	}
+	pc, err := env.PipelineIteration(net, B, g, p.Assignment, opts.Compute, opts.TimelinePolicy, sched)
+	if err != nil {
+		p.Reason = fmt.Sprintf("pipeline simulation failed: %v", err)
+		return p
+	}
+	p.Feasible = true
+	p.Breakdown = pc.Breakdown // per-micro-batch costs (size B/M)
+	p.Timeline = pc.Result
+	p.BubbleFraction = pc.Result.BubbleFraction
+	p.CommSeconds = pc.Result.CommSeconds // simulated: M·activations + 1·gradient flush
+	p.CompSeconds = pc.Result.ComputeSeconds + pc.Overhead
+	p.IterSeconds = pc.IterSeconds()
+	if opts.AddRedistribution {
+		// Activations are redistributed at every strategy boundary of
+		// every micro-batch; the all-gathers block the next layer's
+		// compute, so they are never overlapped.
+		r := float64(micro) * env.RedistributionSeconds(net, B/micro, g, p.Assignment)
 		p.CommSeconds += r
 		p.IterSeconds += r
 	}
@@ -378,6 +514,14 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	}
 	if B < 1 || P < 1 {
 		return Result{}, fmt.Errorf("planner: need B ≥ 1 and P ≥ 1, got B=%d P=%d", B, P)
+	}
+	for _, m := range opts.MicroBatches {
+		if m < 1 {
+			return Result{}, fmt.Errorf("planner: micro-batch candidates must be ≥ 1, got %d", m)
+		}
+		if m > 1 && !opts.UseTimeline {
+			return Result{}, fmt.Errorf("planner: micro-batch candidate M=%d needs UseTimeline (pipeline schedules are scored by the timeline simulator)", m)
+		}
 	}
 	var res Result
 	best := math.Inf(1)

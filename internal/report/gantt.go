@@ -8,7 +8,11 @@ import (
 // GanttSpan is one scheduled interval of a timeline chart. Lane selects
 // the glyph (lane 0 = compute '█', lane 1 = network '▒', lane 2 =
 // intra-node link '▓', lane 3 = inter-node link '░', further lanes
-// cycle); Label names the row.
+// cycle); Label names the row. The cycling is deliberate: pipeline
+// schedules encode stage s's copy of base lane k as lane k + 4s
+// (timeline.StageResource), so every stage's compute pipe renders '█',
+// every stage's network lane '▒', and the micro-batch labels in Label
+// (e.g. "fwd conv1 µ3") distinguish the rows.
 type GanttSpan struct {
 	Label      string
 	Lane       int

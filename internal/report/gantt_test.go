@@ -52,3 +52,27 @@ func TestGanttEmpty(t *testing.T) {
 		t.Fatalf("empty case: %q", out)
 	}
 }
+
+// Staged lanes (pipeline schedules: lane k + 4s for stage s) cycle onto
+// the base glyphs, so a multi-stage schedule renders every compute pipe
+// with '█' and every network lane with '▒'.
+func TestGanttStagedLanesCycleGlyphs(t *testing.T) {
+	out := Gantt("", []GanttSpan{
+		{Label: "fwd a µ0", Lane: 0, Start: 0, End: 1},
+		{Label: "fwd b µ0", Lane: 4, Start: 1, End: 2}, // stage 1 compute
+		{Label: "ag b µ0", Lane: 5, Start: 2, End: 3},  // stage 1 network
+	}, 30)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "█") || strings.Contains(lines[1], "▒") {
+		t.Fatalf("stage-1 compute row must render '█': %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "▒") || strings.Contains(lines[2], "█") {
+		t.Fatalf("stage-1 network row must render '▒': %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "µ0") {
+		t.Fatalf("micro-batch label lost: %q", lines[1])
+	}
+}

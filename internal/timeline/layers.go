@@ -3,6 +3,7 @@ package timeline
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -183,23 +184,53 @@ type LayerStats struct {
 	BwdExposed  float64 // compute-pipe stall ending at this layer's backward GEMMs
 }
 
-// Result is a simulated iteration.
+// ResourceStats aggregates one lane's scheduled time.
+type ResourceStats struct {
+	Resource    Resource
+	BusySeconds float64
+	// IdleSeconds is Makespan − BusySeconds: the lane's idle time over
+	// the whole schedule window. For compute lanes this is the lane's
+	// pipeline bubble plus any communication stalls.
+	IdleSeconds float64
+}
+
+// Result is a simulated iteration (single-iteration or pipelined).
 type Result struct {
 	Policy   Policy
 	Spans    []Span // in start order
 	Makespan float64
 
-	ComputeSeconds float64 // total busy time on the compute pipe
-	CommSeconds    float64 // total busy time on the link
+	// MicroBatches and Stages echo the simulated schedule: 1/1 for
+	// SimulateLayers, the Schedule's M and S for SimulatePipeline.
+	MicroBatches int
+	Stages       int
+
+	ComputeSeconds float64 // total busy time across all compute pipes
+	CommSeconds    float64 // total busy time across all network lanes
 	// ExposedCommSeconds is the communication the schedule could not hide:
 	// Makespan − ComputeSeconds. With PolicyNone it equals CommSeconds;
-	// with perfect hiding it is 0.
+	// with perfect hiding it is 0. Only meaningful for single-stage
+	// schedules (with S > 1 compute busy time is summed over stages and
+	// the difference is clamped to 0).
 	ExposedCommSeconds float64
 	// DrainSeconds is the tail of ExposedCommSeconds spent after the last
 	// compute event, waiting for the link backlog to clear — the
 	// end-of-iteration serialization the closed form models with its
 	// single max(0, bwdComm − bwdComp) term.
 	DrainSeconds float64
+
+	// BubbleSeconds is the total compute-pipe idle time over the schedule
+	// window, summed across the S stage pipes: S·Makespan − ComputeSeconds.
+	// BubbleFraction normalizes it to the total pipe time S·Makespan, so a
+	// fill–drain (gpipe) schedule of M micro-batches over S uniform stages
+	// reports exactly (S−1)/(M+S−1). For a single-stage schedule the
+	// bubble is the exposed communication.
+	BubbleSeconds  float64
+	BubbleFraction float64
+
+	// PerResource lists every lane that appears in the schedule in
+	// Resource order, with its busy and idle time.
+	PerResource []ResourceStats
 
 	PerLayer []LayerStats
 }
@@ -216,7 +247,7 @@ func SimulateLayers(layers []Layer, policy Policy) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return summarize(layers, policy, spans), nil
+	return summarize(layers, policy, spans, 1, 1), nil
 }
 
 // buildEvents lays out one iteration: forward compute for layers 0..L−1,
@@ -332,23 +363,25 @@ func buildEvents(layers []Layer, policy Policy) []Event {
 	return events
 }
 
-func summarize(layers []Layer, policy Policy, spans []Span) *Result {
-	r := &Result{Policy: policy, Spans: spans}
+func summarize(layers []Layer, policy Policy, spans []Span, microBatches, stages int) *Result {
+	r := &Result{Policy: policy, Spans: spans, MicroBatches: microBatches, Stages: stages}
 	r.PerLayer = make([]LayerStats, len(layers))
 	for i := range layers {
 		r.PerLayer[i].Name = layers[i].Name
 	}
 	lastComputeEnd := 0.0
-	prevComputeEnd := 0.0
+	prevComputeEnd := make(map[Resource]float64) // per compute pipe
+	busy := make(map[Resource]float64)
 	for _, s := range spans {
 		if s.End > r.Makespan {
 			r.Makespan = s.End
 		}
+		busy[s.Resource] += s.Duration
 		st := &r.PerLayer[s.Layer]
-		if s.Resource == Compute {
+		if s.Resource.Base() == Compute {
 			r.ComputeSeconds += s.Duration
 			st.CompSeconds += s.Duration
-			if gap := s.Start - prevComputeEnd; gap > 0 {
+			if gap := s.Start - prevComputeEnd[s.Resource]; gap > 0 {
 				// Attribute the stall to the compute event that ends it.
 				if s.Kind == FwdComp {
 					st.FwdExposed += gap
@@ -356,24 +389,47 @@ func summarize(layers []Layer, policy Policy, spans []Span) *Result {
 					st.BwdExposed += gap
 				}
 			}
-			prevComputeEnd = s.End
+			prevComputeEnd[s.Resource] = s.End
 			if s.End > lastComputeEnd {
 				lastComputeEnd = s.End
 			}
 		} else {
-			// Every non-compute lane (Network, NetworkIntra, NetworkInter)
-			// is communication.
+			// Every non-compute lane (Network, NetworkIntra, NetworkInter
+			// and their per-stage copies) is communication.
 			r.CommSeconds += s.Duration
 			st.CommSeconds += s.Duration
 		}
 	}
 	r.ExposedCommSeconds = r.Makespan - r.ComputeSeconds
 	if r.ExposedCommSeconds < 0 {
-		r.ExposedCommSeconds = 0 // float noise only; compute never overlaps itself
+		// Float noise on one stage; genuinely concurrent pipes beyond it.
+		r.ExposedCommSeconds = 0
 	}
 	r.DrainSeconds = r.Makespan - lastComputeEnd
 	if r.DrainSeconds < 0 {
 		r.DrainSeconds = 0
+	}
+	resources := make([]Resource, 0, len(busy))
+	for res := range busy {
+		resources = append(resources, res)
+	}
+	sort.Slice(resources, func(i, j int) bool { return resources[i] < resources[j] })
+	for _, res := range resources {
+		r.PerResource = append(r.PerResource, ResourceStats{
+			Resource:    res,
+			BusySeconds: busy[res],
+			IdleSeconds: r.Makespan - busy[res],
+		})
+	}
+	// The bubble sums every stage pipe's idle time — including pipes
+	// with no scheduled work at all (a stage whose layers have zero
+	// compute is idle for the whole window).
+	r.BubbleSeconds = float64(stages)*r.Makespan - r.ComputeSeconds
+	if r.BubbleSeconds < 0 {
+		r.BubbleSeconds = 0
+	}
+	if r.Makespan > 0 && stages > 0 {
+		r.BubbleFraction = r.BubbleSeconds / (float64(stages) * r.Makespan)
 	}
 	return r
 }

@@ -39,6 +39,13 @@ import (
 // realistically — an intra-node all-reduce does not queue behind an
 // inter-node one. The scheduler serializes each lane independently and
 // accepts any Resource values that appear in the event list.
+//
+// A pipeline schedule (SimulatePipeline) replicates the whole lane set
+// per pipeline stage: stage s's lanes are StageResource(base, s), so
+// micro-batches contend within a stage but stages run concurrently —
+// the resource model of S device groups each with its own compute pipe
+// and network links. Stage 0's lanes are the base values, which keeps
+// single-stage schedules bit-identical to the single-iteration ones.
 type Resource int
 
 const (
@@ -51,20 +58,52 @@ const (
 	// collective on its own lane.
 	NetworkIntra
 	NetworkInter
+
+	// numBaseResources is the stride of the per-stage resource encoding:
+	// stage s's copy of a base lane is base + s·numBaseResources.
+	numBaseResources
 )
 
-func (r Resource) String() string {
-	switch r {
-	case Compute:
-		return "compute"
-	case Network:
-		return "network"
-	case NetworkIntra:
-		return "net-intra"
-	case NetworkInter:
-		return "net-inter"
+// StageResource returns pipeline stage s's copy of a base lane.
+// StageResource(base, 0) == base.
+func StageResource(base Resource, stage int) Resource {
+	if base < 0 || base >= numBaseResources {
+		panic(fmt.Sprintf("timeline: %v is not a base resource", base))
 	}
-	return fmt.Sprintf("Resource(%d)", int(r))
+	if stage < 0 {
+		panic(fmt.Sprintf("timeline: negative pipeline stage %d", stage))
+	}
+	return base + Resource(stage)*numBaseResources
+}
+
+// Base returns the lane kind, stripping the pipeline stage.
+func (r Resource) Base() Resource { return r % numBaseResources }
+
+// PipelineStage returns the pipeline stage the lane belongs to (0 for
+// the base lanes of a single-stage schedule).
+func (r Resource) PipelineStage() int { return int(r) / int(numBaseResources) }
+
+func (r Resource) String() string {
+	if r < 0 {
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+	var name string
+	switch r.Base() {
+	case Compute:
+		name = "compute"
+	case Network:
+		name = "network"
+	case NetworkIntra:
+		name = "net-intra"
+	case NetworkInter:
+		name = "net-inter"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+	if s := r.PipelineStage(); s > 0 {
+		return fmt.Sprintf("%s#%d", name, s)
+	}
+	return name
 }
 
 // Kind labels what an event models, so reports can name spans.
@@ -104,6 +143,7 @@ func (k Kind) String() string {
 type Event struct {
 	ID       int
 	Layer    int // index into the Layer slice handed to Simulate
+	Micro    int // micro-batch index (0 in single-iteration schedules)
 	Name     string
 	Kind     Kind
 	Resource Resource
