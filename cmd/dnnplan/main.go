@@ -1,279 +1,29 @@
 // Command dnnplan runs the integrated-parallelism planner: given a
-// network, a global batch size, a process count, and a machine, it prints
-// every Pr × Pc configuration with predicted communication/computation
-// time and the chosen per-layer strategy — the paper's "automatically
-// selects the best configuration" claim as a tool.
+// scenario — a JSON spec (-config) and/or flags — it prints every
+// Pr × Pc configuration with predicted communication/computation time
+// and the chosen per-layer strategy, the paper's "automatically selects
+// the best configuration" claim as a tool. It is a thin adapter over the
+// public dnnparallel.Plan façade (CLI/API parity is enforced by test).
 //
 // Usage:
 //
+//	dnnplan -config examples/scenarios/alexnet-p512.json
 //	dnnplan -net alexnet -B 2048 -P 512
 //	dnnplan -net alexnet -B 512 -P 4096 -mode conv-domain
-//	dnnplan -net vgg16 -B 256 -P 64 -mode auto -overlap
-//	dnnplan -net alexnet -B 2048 -P 512 -policy backprop -gantt
+//	dnnplan -config examples/scenarios/alexnet-pipeline.json -schedule gpipe
+//	                           # flags override scenario fields
 //	dnnplan -net alexnet -B 2048 -P 512 -policy backprop -micro 1,2,4,8 -schedule 1f1b
-//	                           # micro-batch pipeline search: each grid is
-//	                           # also priced as an M-micro-batch schedule
 //	dnnplan -net alexnet -B 2048 -nodes 64 -ppn 8
 //	                           # two-level topology: 64 nodes × 8 ranks,
 //	                           # searches rank placement × grid
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 
-	"dnnparallel/internal/experiments"
-	"dnnparallel/internal/grid"
-	"dnnparallel/internal/machine"
-	"dnnparallel/internal/nn"
-	"dnnparallel/internal/planner"
-	"dnnparallel/internal/report"
-	"dnnparallel/internal/timeline"
+	"dnnparallel/internal/cli"
 )
 
 func main() {
-	netName := flag.String("net", "alexnet", "network: alexnet|vgg16|onebyone|resnet50")
-	batch := flag.Int("B", 2048, "global minibatch size")
-	procs := flag.Int("P", 512, "process count")
-	modeName := flag.String("mode", "auto", "conv-layer handling: uniform|conv-batch|conv-domain|auto")
-	overlap := flag.Bool("overlap", false, "assume perfect comm/backprop overlap (Fig. 8, aggregate closed form)")
-	policyName := flag.String("policy", "", "score with the per-layer event-driven timeline under this overlap policy: none|backprop|full (overrides -overlap)")
-	microList := flag.String("micro", "", "comma-separated micro-batch counts to search per grid (entries > 1 need -policy)")
-	scheduleName := flag.String("schedule", "", "pipeline schedule shape for -micro: gpipe|1f1b (default gpipe)")
-	gantt := flag.Bool("gantt", false, "print the best plan's per-layer schedule (needs -policy)")
-	alpha := flag.Float64("alpha", 2e-6, "network latency α (seconds)")
-	bwGB := flag.Float64("bw", 6, "network bandwidth 1/β (GB/s)")
-	ppn := flag.Int("ppn", 0, "ranks per node; > 0 enables the two-level intra-/inter-node topology")
-	nodes := flag.Int("nodes", 0, "node count (with -ppn, sets P = nodes × ppn)")
-	intraDefault := machine.CoriKNLNodes(1).Intra
-	intraAlpha := flag.Float64("intra-alpha", intraDefault.Alpha, "intra-node latency α (seconds; with -ppn)")
-	intraBwGB := flag.Float64("intra-bw", intraDefault.BandwidthBytes()/1e9, "intra-node bandwidth 1/β (GB/s; with -ppn)")
-	placementName := flag.String("placement", "", "pin the rank placement: row-major|col-major (default: search both)")
-	flag.Parse()
-
-	var net *nn.Network
-	switch *netName {
-	case "alexnet":
-		net = nn.AlexNet()
-	case "vgg16":
-		net = nn.VGG16()
-	case "onebyone":
-		net = nn.OneByOneNet()
-	case "resnet50":
-		net = nn.ResNet50Proxy()
-	default:
-		fmt.Fprintf(os.Stderr, "dnnplan: unknown network %q\n", *netName)
-		os.Exit(2)
-	}
-	var mode planner.Mode
-	switch *modeName {
-	case "uniform":
-		mode = planner.Uniform
-	case "conv-batch":
-		mode = planner.ConvBatch
-	case "conv-domain":
-		mode = planner.ConvDomain
-	case "auto":
-		mode = planner.Auto
-	default:
-		fmt.Fprintf(os.Stderr, "dnnplan: unknown mode %q\n", *modeName)
-		os.Exit(2)
-	}
-
-	s := experiments.Default()
-	opts := planner.Options{
-		Machine:  s.Machine,
-		Compute:  s.Compute,
-		Mode:     mode,
-		Overlap:  *overlap,
-		DatasetN: s.DatasetN,
-	}
-	if *gantt && *policyName == "" {
-		fmt.Fprintln(os.Stderr, "dnnplan: -gantt needs -policy (timeline scoring)")
-		os.Exit(2)
-	}
-	if *policyName != "" {
-		pol, err := timeline.ParsePolicy(*policyName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dnnplan:", err)
-			os.Exit(2)
-		}
-		opts.UseTimeline = true
-		opts.TimelinePolicy = pol
-	}
-	if *scheduleName != "" {
-		shape, err := timeline.ParseSchedule(*scheduleName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dnnplan:", err)
-			os.Exit(2)
-		}
-		opts.Schedule = shape
-	}
-	microSearch := false
-	if *microList != "" {
-		for _, part := range strings.Split(*microList, ",") {
-			m, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || m < 1 {
-				fmt.Fprintf(os.Stderr, "dnnplan: bad micro-batch count %q\n", part)
-				os.Exit(2)
-			}
-			if m > 1 {
-				microSearch = true
-			}
-			opts.MicroBatches = append(opts.MicroBatches, m)
-		}
-		if microSearch && !opts.UseTimeline {
-			fmt.Fprintln(os.Stderr, "dnnplan: -micro entries > 1 need -policy (pipeline schedules are scored by the timeline simulator)")
-			os.Exit(2)
-		}
-	}
-	opts.Machine.Alpha = *alpha
-	opts.Machine.Beta = 4 / (*bwGB * 1e9)
-
-	if *nodes > 0 && *ppn <= 0 {
-		fmt.Fprintln(os.Stderr, "dnnplan: -nodes needs -ppn (ranks per node)")
-		os.Exit(2)
-	}
-	if *ppn <= 0 {
-		// The intra-node flags have non-trivial defaults, so detect an
-		// explicit setting rather than comparing values.
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "intra-alpha" || f.Name == "intra-bw" {
-				fmt.Fprintf(os.Stderr, "dnnplan: -%s needs -ppn (intra-node link only exists on a two-level topology)\n", f.Name)
-				os.Exit(2)
-			}
-		})
-	}
-	if *ppn > 0 {
-		// Start from the canonical two-level Cori machine so the name
-		// format and intra-node defaults cannot drift from dnnsim's
-		// -ppn path, then apply the CLI's link overrides.
-		topo := machine.CoriKNLNodes(*ppn)
-		topo.Intra = machine.Link{Alpha: *intraAlpha, Beta: machine.WordBytes / (*intraBwGB * 1e9)}
-		topo.Inter = machine.Link{Alpha: opts.Machine.Alpha, Beta: opts.Machine.Beta}
-		topo.PeakFlops = opts.Machine.PeakFlops
-		opts.Topology = topo
-		if *nodes > 0 {
-			explicitP := false
-			flag.Visit(func(f *flag.Flag) { explicitP = explicitP || f.Name == "P" })
-			if explicitP && *procs != *nodes**ppn {
-				fmt.Fprintf(os.Stderr, "dnnplan: -P %d conflicts with -nodes %d × -ppn %d = %d\n",
-					*procs, *nodes, *ppn, *nodes**ppn)
-				os.Exit(2)
-			}
-			*procs = *nodes * *ppn
-		}
-	}
-	if *placementName != "" {
-		if *ppn <= 0 {
-			fmt.Fprintln(os.Stderr, "dnnplan: -placement needs -ppn (placement only matters on a two-level topology)")
-			os.Exit(2)
-		}
-		pl, err := grid.ParsePlacement(*placementName)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dnnplan:", err)
-			os.Exit(2)
-		}
-		opts.Placements = []grid.Placement{pl}
-	}
-
-	res, err := planner.Optimize(net, *batch, *procs, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dnnplan:", err)
-		os.Exit(1)
-	}
-
-	topoAware := !opts.Topology.IsZero()
-	machineDesc := opts.Machine.String()
-	if topoAware {
-		machineDesc = opts.Topology.String()
-	}
-	fmt.Printf("%s, B=%d, P=%d, mode=%v, machine=%s\n\n", net.Name, *batch, *procs, mode, machineDesc)
-	header := []string{"Grid"}
-	if topoAware {
-		header = append(header, "place")
-	}
-	if microSearch {
-		header = append(header, "µbatch", "bubble")
-	}
-	header = append(header, "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch", "")
-	var rows [][]string
-	for _, p := range res.All {
-		row := []string{p.Grid.String()}
-		if topoAware {
-			if p.Feasible {
-				row = append(row, p.Placement.String())
-			} else {
-				row = append(row, "-")
-			}
-		}
-		if microSearch {
-			if p.Feasible {
-				row = append(row, fmt.Sprintf("%d", p.MicroBatch), fmt.Sprintf("%.1f%%", 100*p.BubbleFraction))
-			} else {
-				row = append(row, "-", "-")
-			}
-		}
-		if !p.Feasible {
-			row = append(row, "-", "-", "-", "-", "-", "infeasible: "+p.Reason)
-		} else {
-			note := ""
-			if p.Grid == res.Best.Grid {
-				note = "← best"
-			}
-			row = append(row,
-				report.F(p.CommSeconds), report.F(p.CompSeconds),
-				report.F(p.ExposedCommSeconds),
-				report.F(p.IterSeconds), report.F(p.EpochSeconds),
-				note)
-		}
-		rows = append(rows, row)
-	}
-	fmt.Print(report.Table(header, rows))
-	if microSearch {
-		fmt.Printf("\nBest plan schedule: %v, M=%d micro-batches (bubble %.1f%%)\n",
-			res.Best.Schedule, res.Best.MicroBatch, 100*res.Best.BubbleFraction)
-	}
-
-	if total, comm := res.Speedup(); total > 0 {
-		fmt.Printf("\nSpeedup vs pure batch (1x%d): %.2fx total, %.2fx communication\n", *procs, total, comm)
-	} else {
-		fmt.Printf("\nPure batch (1x%d) is infeasible at B=%d — the beyond-batch regime of Fig. 10.\n", *procs, *batch)
-	}
-
-	if topoAware {
-		fmt.Printf("\nPer-layer strategy of the best plan (grid %v, placement %v):\n",
-			res.Best.Grid, res.Best.Placement)
-	} else {
-		fmt.Printf("\nPer-layer strategy of the best plan (grid %v):\n", res.Best.Grid)
-	}
-	var lis []int
-	for li := range res.Best.Assignment {
-		lis = append(lis, li)
-	}
-	sort.Ints(lis)
-	var srows [][]string
-	for _, li := range lis {
-		l := &net.Layers[li]
-		srows = append(srows, []string{
-			l.Name, l.Kind.String(), l.Out.String(),
-			fmt.Sprintf("%d", l.Weights()),
-			res.Best.Assignment[li].String(),
-		})
-	}
-	fmt.Print(report.Table([]string{"Layer", "Kind", "Output", "|W|", "Strategy"}, srows))
-
-	if *gantt && res.Best.Timeline != nil {
-		fmt.Printf("\nPer-layer schedule, grid %v, policy %v (%s):\n",
-			res.Best.Grid, opts.TimelinePolicy, experiments.GanttLegend(res.Best.Timeline))
-		fmt.Print(report.Gantt("", experiments.GanttSpans(res.Best.Timeline), 64))
-		fmt.Printf("makespan %ss, exposed comm %ss, drain %ss\n",
-			report.F(res.Best.Timeline.Makespan),
-			report.F(res.Best.Timeline.ExposedCommSeconds),
-			report.F(res.Best.Timeline.DrainSeconds))
-	}
+	os.Exit(cli.PlanMain(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,46 @@
+// Command dnnserve exposes the dnnparallel planner as an HTTP service —
+// the first step toward the roadmap's traffic-serving system:
+//
+//	POST /v1/plan      Scenario JSON → PlanResult JSON
+//	POST /v1/simulate  Scenario JSON → SimResult JSON
+//	GET  /healthz      liveness + plan-cache statistics
+//
+// Responses are cached in an LRU keyed on the canonicalized scenario, so
+// repeated questions are answered without re-running the search.
+//
+// Usage:
+//
+//	dnnserve -addr :8080 -cache 256
+//	curl -s localhost:8080/v1/plan -d @examples/scenarios/alexnet-p512.json
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"dnnparallel/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "plan-cache capacity in entries (negative disables caching)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{CacheSize: *cacheSize})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("dnnserve listening on %s (plan cache: %d entries)\n", *addr, *cacheSize)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.SetFlags(0)
+		log.Println("dnnserve:", err)
+		os.Exit(1)
+	}
+}

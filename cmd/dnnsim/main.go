@@ -1,253 +1,26 @@
 // Command dnnsim regenerates the paper's tables and figures from the
-// analytic models (Figs. 4, 6–10, Table 1, the Eq. 5 crossover table) and
-// the executable engine verification.
+// analytic models (Figs. 4, 6–10, Table 1, the Eq. 5 crossover table)
+// and the executable engine verification. It is a thin adapter over
+// internal/cli: a -config scenario seeds the shared setup and every flag
+// overrides it, exactly as in dnnplan.
 //
 // Usage:
 //
 //	dnnsim -exp all            # every experiment, text form
 //	dnnsim -exp fig6           # one experiment
 //	dnnsim -exp fig7 -csv      # machine-readable output
-//	dnnsim -exp fig6 -B 1024   # override the batch size
+//	dnnsim -config examples/scenarios/alexnet-p512.json -exp fig6
 //	dnnsim -exp timeline -policy backprop -B 2048 -P 512
-//	                           # per-layer event-driven overlap timeline
 //	dnnsim -exp pipeline -micro 1,2,4,8 -schedule 1f1b -B 2048 -P 512
-//	                           # micro-batch sweep: makespan/bubble/stash per M
 //	dnnsim -exp fig6 -nodes 64 -ppn 8
-//	                           # two-level topology: 64 nodes × 8 ranks/node
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strconv"
-	"strings"
-	"time"
 
-	"dnnparallel/internal/compute"
-	"dnnparallel/internal/experiments"
-	"dnnparallel/internal/machine"
-	"dnnparallel/internal/planner"
-	"dnnparallel/internal/timeline"
+	"dnnparallel/internal/cli"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|eq5|fig6|fig7|fig8|fig9|fig10|timeline|pipeline|verify|sensitivity|memory|onebyone|all")
-	csv := flag.Bool("csv", false, "emit CSV instead of text (scaling experiments)")
-	batch := flag.Int("B", 2048, "global minibatch size for strong-scaling experiments")
-	beyondB := flag.Int("B10", 512, "batch size for the beyond-batch experiment (fig10)")
-	ps := flag.String("P", "", "comma-separated process counts (defaults per experiment)")
-	policy := flag.String("policy", "backprop", "overlap policy for -exp timeline/pipeline: none|backprop|full")
-	micro := flag.String("micro", "1,2,4,8,16,32", "comma-separated micro-batch counts for -exp pipeline")
-	schedule := flag.String("schedule", "gpipe", "pipeline schedule shape for -exp pipeline: gpipe|1f1b")
-	calibrate := flag.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
-	ppn := flag.Int("ppn", 0, "ranks per node; > 0 makes the planner-backed experiments (fig6–10, timeline, pipeline, memory) price against the two-level Cori topology (10× intra-node bandwidth) and search rank placements; single-process and sweep experiments (fig4, eq5, sensitivity) are unaffected")
-	nodes := flag.Int("nodes", 0, "node count (with -ppn, defaults the process counts to nodes × ppn)")
-	flag.Parse()
-
-	// Parse the enum-valued flags up front so a typo exits with the parse
-	// error even when the selected experiment would not consume the flag
-	// this run — never silently fall back to a default.
-	pol, err := timeline.ParsePolicy(*policy)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dnnsim:", err)
-		os.Exit(2)
-	}
-	shape, err := timeline.ParseSchedule(*schedule)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dnnsim:", err)
-		os.Exit(2)
-	}
-	micros := parseMicros(*micro)
-
-	s := experiments.Default()
-	if *nodes > 0 && *ppn <= 0 {
-		fmt.Fprintln(os.Stderr, "dnnsim: -nodes needs -ppn (ranks per node)")
-		os.Exit(2)
-	}
-	if *ppn > 0 {
-		s.Topology = machine.CoriKNLNodes(*ppn)
-		if *nodes > 0 {
-			want := strconv.Itoa(*nodes * *ppn)
-			if *ps != "" && *ps != want {
-				fmt.Fprintf(os.Stderr, "dnnsim: -P %s conflicts with -nodes %d × -ppn %d = %s\n",
-					*ps, *nodes, *ppn, want)
-				os.Exit(2)
-			}
-			*ps = want
-		}
-	}
-	if *calibrate {
-		s.Compute = compute.CalibrateLocal(192, time.Second)
-		fmt.Printf("calibrated local compute model: peak·eff ≈ %.3g FLOP/s, half-speed batch ≈ %.1f\n\n",
-			s.Compute.Peak*s.Compute.EffMax, s.Compute.BHalf)
-	}
-	run := func(name string) error {
-		switch name {
-		case "table1":
-			fmt.Println("Table 1 — fixed simulation parameters")
-			fmt.Print(s.Table1())
-		case "fig4":
-			fmt.Print(experiments.RenderFig4(s.Fig4()))
-		case "eq5":
-			fmt.Print(experiments.RenderEq5(s.Eq5()))
-		case "fig6", "fig7", "fig8":
-			mode := planner.Uniform
-			overlap := false
-			title := "Fig. 6 — strong scaling, same Pr×Pc grid for all layers"
-			if name == "fig7" {
-				mode = planner.ConvBatch
-				title = "Fig. 7 — strong scaling, conv layers pure batch, FC layers on the grid"
-			}
-			if name == "fig8" {
-				mode = planner.ConvBatch
-				overlap = true
-				title = "Fig. 8 — Fig. 7 with perfect comm/backprop overlap"
-			}
-			res, err := s.StrongScaling(mode, overlap, *batch, parsePs(*ps, experiments.StandardFig6Ps()))
-			if err != nil {
-				return err
-			}
-			emitScaling(title, res, *csv, s.DatasetN)
-		case "fig9":
-			res, err := s.WeakScaling(planner.Uniform, experiments.StandardFig9Pairs())
-			if err != nil {
-				return err
-			}
-			emitScaling("Fig. 9 — weak scaling (B and P grow together), uniform grids", res, *csv, s.DatasetN)
-			// The caption's remark: "a better approach is to use pure batch
-			// parallelism for convolutional layers" — quantified.
-			better, err := s.WeakScaling(planner.ConvBatch, experiments.StandardFig9Pairs())
-			if err != nil {
-				return err
-			}
-			emitScaling("Fig. 9 (improved per caption) — conv layers pure batch", better, *csv, s.DatasetN)
-		case "fig10":
-			res, err := s.BeyondBatch(*beyondB, parsePs(*ps, experiments.StandardFig10Ps()))
-			if err != nil {
-				return err
-			}
-			emitScaling(fmt.Sprintf("Fig. 10 — scaling beyond the P=B=%d limit with domain-parallel convs", *beyondB),
-				res, *csv, s.DatasetN)
-		case "timeline":
-			var studies []experiments.TimelineResult
-			for _, P := range parsePs(*ps, experiments.StandardFig6Ps()) {
-				tr, err := s.TimelineStudy(planner.Auto, pol, *batch, P)
-				if err != nil {
-					return err
-				}
-				if *csv {
-					studies = append(studies, tr)
-					continue
-				}
-				fmt.Print(experiments.RenderTimeline(tr))
-				fmt.Println()
-			}
-			if *csv {
-				fmt.Print(experiments.TimelineCSV(studies))
-			}
-		case "pipeline":
-			var all []experiments.PipelineRow
-			for _, P := range parsePs(*ps, []int{512}) {
-				rows, err := s.PipelineSweep(planner.Auto, pol, shape, *batch, P, micros)
-				if err != nil {
-					return err
-				}
-				if *csv {
-					all = append(all, rows...)
-					continue
-				}
-				fmt.Print(experiments.RenderPipeline(rows))
-				fmt.Println()
-			}
-			if *csv {
-				fmt.Print(experiments.PipelineCSV(all))
-			}
-		case "verify":
-			reps, err := experiments.VerifyEngines(4, 8, 7, machine.CoriKNL())
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderEngineReports(reps))
-		case "sensitivity":
-			rows, err := s.Sensitivity()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderSensitivity(rows))
-		case "memory":
-			fmt.Print(experiments.RenderMemory(s.MemoryStudy(*batch, 512), *batch, 512))
-		case "onebyone":
-			row, err := s.OneByOneStudy(128, 512)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderOneByOne(row))
-		case "modelcheck":
-			rows, err := experiments.ModelCheck()
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderModelCheck(rows))
-		case "convergence":
-			rows, err := experiments.Convergence(4, 11)
-			if err != nil {
-				return err
-			}
-			fmt.Print(experiments.RenderConvergence(rows, 4))
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		fmt.Println()
-		return nil
-	}
-
-	names := []string{*exp}
-	if *exp == "all" {
-		names = []string{"table1", "fig4", "eq5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"timeline", "pipeline", "verify", "sensitivity", "memory", "onebyone", "modelcheck", "convergence"}
-	}
-	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintln(os.Stderr, "dnnsim:", err)
-			os.Exit(1)
-		}
-	}
-}
-
-func emitScaling(title string, res []experiments.ScalingResult, csv bool, n int) {
-	if csv {
-		fmt.Print(experiments.ScalingCSV(res))
-		return
-	}
-	fmt.Print(experiments.RenderScaling(title, res, true, n))
-}
-
-func parsePs(s string, def []int) []int {
-	if s == "" {
-		return def
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "dnnsim: bad process count %q\n", part)
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
-func parseMicros(s string) []int {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "dnnsim: bad micro-batch count %q\n", part)
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
+	os.Exit(cli.SimMain(os.Args[1:], os.Stdout, os.Stderr))
 }

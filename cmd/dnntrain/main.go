@@ -3,115 +3,24 @@
 // goroutine-based MPI runtime, reporting loss, simulated communication
 // time, and words on the wire. With -verify it additionally trains every
 // strategy and checks gradient-exactness against serial SGD (the
-// executable realization of Figs. 1, 2, 3 and 5).
+// executable realization of Figs. 1, 2, 3 and 5). It is a thin adapter
+// over internal/cli; a -config scenario supplies B, P, grid, and the
+// machine.
 //
 // Usage:
 //
 //	dnntrain -verify
 //	dnntrain -strategy batch -P 4 -steps 20
 //	dnntrain -strategy full -pr 2 -pc 4 -steps 10
+//	dnntrain -config examples/scenarios/alexnet-sim-8x64.json -strategy full -B 16 -pr 2 -pc 2
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"dnnparallel/internal/checkpoint"
-	"dnnparallel/internal/data"
-	"dnnparallel/internal/experiments"
-	"dnnparallel/internal/grid"
-	"dnnparallel/internal/machine"
-	"dnnparallel/internal/mpi"
-	"dnnparallel/internal/nn"
-	"dnnparallel/internal/parallel"
+	"dnnparallel/internal/cli"
 )
 
 func main() {
-	strategy := flag.String("strategy", "batch", "serial|batch|model|domain|integrated|full")
-	p := flag.Int("P", 4, "process count (batch/model/domain)")
-	pr := flag.Int("pr", 2, "grid rows Pr (integrated/full)")
-	pc := flag.Int("pc", 2, "grid cols Pc (integrated/full)")
-	steps := flag.Int("steps", 10, "SGD steps")
-	batch := flag.Int("B", 16, "global minibatch size")
-	lr := flag.Float64("lr", 0.05, "learning rate")
-	seed := flag.Int64("seed", 42, "random seed")
-	verify := flag.Bool("verify", false, "run every engine and compare to serial SGD")
-	momentum := flag.Float64("momentum", 0, "momentum coefficient (0 = plain SGD)")
-	saveTo := flag.String("save", "", "write a weight checkpoint to this path after training")
-	flag.Parse()
-
-	mach := machine.CoriKNL()
-	if *verify {
-		reps, err := experiments.VerifyEngines(*steps, *batch, *seed, mach)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dnntrain:", err)
-			os.Exit(1)
-		}
-		fmt.Print(experiments.RenderEngineReports(reps))
-		return
-	}
-
-	spec := experiments.ReferenceConvNet()
-	ds := data.Synthetic(4*(*batch), spec.Input, spec.Output().C, *seed)
-	cfg := parallel.Config{Spec: spec, Seed: *seed + 1, LR: *lr, Steps: *steps, BatchSize: *batch}
-	if *momentum > 0 {
-		mu, eta := *momentum, *lr
-		cfg.NewOptimizer = func() nn.Optimizer { return &nn.Momentum{LR: eta, Mu: mu} }
-	}
-
-	var res parallel.Result
-	var err error
-	label := *strategy
-	switch *strategy {
-	case "serial":
-		res, err = parallel.RunSerial(cfg, ds)
-	case "batch":
-		res, err = parallel.RunBatch(mpi.NewWorld(*p, mach), cfg, ds)
-		label = fmt.Sprintf("batch (P=%d)", *p)
-	case "model":
-		res, err = parallel.RunModel(mpi.NewWorld(*p, mach), cfg, ds)
-		label = fmt.Sprintf("model (P=%d)", *p)
-	case "domain":
-		res, err = parallel.RunDomain(mpi.NewWorld(*p, mach), cfg, ds)
-		label = fmt.Sprintf("domain (P=%d)", *p)
-	case "integrated", "full":
-		g := grid.Grid{Pr: *pr, Pc: *pc}
-		res, err = parallel.RunFullIntegrated(mpi.NewWorld(g.P(), mach), cfg, ds, g)
-		label = fmt.Sprintf("integrated (grid %v)", g)
-	default:
-		fmt.Fprintf(os.Stderr, "dnntrain: unknown strategy %q\n", *strategy)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dnntrain:", err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("%s on %s: B=%d, %d steps, lr=%g\n\n", label, spec.Name, *batch, *steps, *lr)
-	for i, l := range res.Losses {
-		fmt.Printf("  step %2d  loss %.6f\n", i, l)
-	}
-	if len(res.Stats) > 0 {
-		var words, msgs int64
-		var comm float64
-		for _, s := range res.Stats {
-			words += s.WordsSent
-			msgs += s.Messages
-			if s.CommTime > comm {
-				comm = s.CommTime
-			}
-		}
-		fmt.Printf("\nSimulated cluster: %d ranks, %d messages, %d words on the wire,\n", len(res.Stats), msgs, words)
-		fmt.Printf("max per-rank communication time %.3gs (virtual, α=%.0gs 1/β=%.0f GB/s)\n",
-			comm, mach.Alpha, mach.BandwidthBytes()/1e9)
-	}
-	if *saveTo != "" {
-		snap := &checkpoint.Snapshot{Network: spec.Name, Step: *steps, Seed: *seed, Weights: res.Weights}
-		if err := checkpoint.SaveFile(*saveTo, snap); err != nil {
-			fmt.Fprintln(os.Stderr, "dnntrain:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("checkpoint written to %s (step %d)\n", *saveTo, *steps)
-	}
+	os.Exit(cli.TrainMain(os.Args[1:], os.Stdout, os.Stderr))
 }

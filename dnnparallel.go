@@ -1,0 +1,298 @@
+// Package dnnparallel is the public face of the integrated model, batch,
+// and domain parallelism planner (Gholami et al., SPAA 2018): given a
+// declarative Scenario — network, machine or two-level topology, global
+// batch, and the parallelism search space (per-layer strategy modes,
+// rank placements, overlap policy, micro-batch pipeline candidates,
+// schedule shape, memory limit) — Plan searches every Pr × Pc
+// factorization for the configuration with the lowest predicted
+// iteration time, and Simulate prices one pinned configuration with the
+// per-layer event-driven overlap timeline.
+//
+// A Scenario round-trips through JSON bit-exactly once normalized, so
+// the same spec drives the Go API, the dnnplan/dnnsim/dnntrain CLIs
+// (-config scenario.json), and the dnnserve HTTP planning service.
+// All validation happens eagerly: malformed scenarios come back as
+// *ValidationError, impossible ones as *InfeasibleError, and no panic
+// escapes the public boundary — not by recovery, but because every
+// boundary invariant is checked before the internal fast paths run.
+//
+//	sc := dnnparallel.New("alexnet", 2048, 512)
+//	res, err := dnnparallel.Plan(sc)
+//	// res.Best.Grid == "32x16", res.SpeedupTotal ≈ 4.5 vs pure batch
+package dnnparallel
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/scenario"
+	"dnnparallel/internal/timeline"
+)
+
+// Re-exported spec types: the Scenario vocabulary is defined in
+// internal/scenario and aliased here so external callers never import an
+// internal path.
+type (
+	// Scenario is the declarative, JSON-round-trippable spec accepted by
+	// Plan and Simulate.
+	Scenario = scenario.Scenario
+	// MachineSpec overrides the flat α–β platform.
+	MachineSpec = scenario.MachineSpec
+	// TopologySpec selects the two-level intra-/inter-node platform.
+	TopologySpec = scenario.TopologySpec
+	// LinkSpec overrides one α–β link level of a TopologySpec.
+	LinkSpec = scenario.LinkSpec
+	// ValidationError is returned for every malformed scenario.
+	ValidationError = scenario.ValidationError
+
+	// Mode selects how convolutional layers are treated in the search.
+	Mode = planner.Mode
+	// Policy selects the timeline overlap policy.
+	Policy = timeline.Policy
+	// Shape selects the pipeline schedule shape.
+	Shape = timeline.Shape
+	// Placement maps logical grid coordinates to machine ranks.
+	Placement = grid.Placement
+)
+
+// The search-space enum values, re-exported under API names.
+const (
+	ModeUniform    = planner.Uniform
+	ModeConvBatch  = planner.ConvBatch
+	ModeConvDomain = planner.ConvDomain
+	ModeAuto       = planner.Auto
+
+	PolicyNone     = timeline.PolicyNone
+	PolicyBackprop = timeline.PolicyBackprop
+	PolicyFull     = timeline.PolicyFull
+
+	ScheduleGPipe    = timeline.GPipe
+	ScheduleOneFOneB = timeline.OneFOneB
+
+	PlacementRowMajor = grid.RowMajor
+	PlacementColMajor = grid.ColMajor
+)
+
+// DefaultScenario returns the paper's headline configuration: AlexNet,
+// B = 2048, P = 512, ImageNet-sized dataset, auto per-layer strategy on
+// the Table 1 Cori-KNL machine.
+func DefaultScenario() Scenario { return scenario.Default() }
+
+// Option mutates a Scenario under construction (New).
+type Option func(*Scenario)
+
+// New builds a Scenario for a preset network
+// (alexnet|vgg16|onebyone|resnet50), a global batch size, and a process
+// count, with the paper's defaults (auto mode, ImageNet-sized dataset)
+// and any further options applied. The result is normalized; invalid
+// combinations surface from Plan/Simulate as *ValidationError.
+func New(network string, batch, procs int, opts ...Option) Scenario {
+	s := scenario.Default()
+	s.Network = network
+	s.Batch = batch
+	s.Procs = procs
+	for _, o := range opts {
+		o(&s)
+	}
+	return s.Normalize()
+}
+
+// WithMode selects the conv-layer search mode (default ModeAuto).
+func WithMode(m Mode) Option { return func(s *Scenario) { s.Mode = m } }
+
+// WithDataset sets the dataset size N for per-epoch pricing (0 disables).
+func WithDataset(n int) Option { return func(s *Scenario) { s.DatasetN = n } }
+
+// WithMachine overrides the flat α–β machine. Mutually exclusive with
+// WithTopology.
+func WithMachine(m MachineSpec) Option {
+	return func(s *Scenario) { s.Machine = &m; s.Topology = nil }
+}
+
+// WithTopology prices every collective against the two-level
+// intra-/inter-node Cori machine with ranksPerNode processes per node;
+// procs is rederived as nodes × ranksPerNode when nodes > 0. Mutually
+// exclusive with WithMachine.
+func WithTopology(nodes, ranksPerNode int) Option {
+	return func(s *Scenario) {
+		s.Topology = &TopologySpec{Nodes: nodes, RanksPerNode: ranksPerNode}
+		s.Machine = nil
+		if nodes > 0 {
+			s.Procs = nodes * ranksPerNode
+		}
+	}
+}
+
+// WithTopologySpec installs a fully specified two-level topology.
+func WithTopologySpec(t TopologySpec) Option {
+	return func(s *Scenario) { s.Topology = &t; s.Machine = nil }
+}
+
+// WithPlacements pins the rank-placement search space (default:
+// automatic — row-major only on flat machines, both on two-level ones).
+func WithPlacements(pls ...Placement) Option {
+	return func(s *Scenario) { s.Placements = pls }
+}
+
+// WithOverlap applies the Fig. 8 closed-form comm/backprop overlap.
+func WithOverlap() Option { return func(s *Scenario) { s.Overlap = true } }
+
+// WithTimeline scores every candidate with the per-layer event-driven
+// simulator under the given overlap policy.
+func WithTimeline(p Policy) Option {
+	return func(s *Scenario) { s.Timeline = true; s.Policy = p }
+}
+
+// WithMicroBatches adds micro-batch pipeline candidates under a schedule
+// shape. Candidates > 1 imply timeline scoring (applied by Normalize, so
+// the spec cannot be inconsistent).
+func WithMicroBatches(shape Shape, ms ...int) Option {
+	return func(s *Scenario) { s.Schedule = shape; s.MicroBatches = ms }
+}
+
+// WithPipelineStages sets the pipeline stage count S (0 ⇒ 1).
+func WithPipelineStages(stages int) Option {
+	return func(s *Scenario) { s.PipelineStages = stages }
+}
+
+// WithMemoryLimit rejects plans whose per-process footprint exceeds the
+// limit, in words.
+func WithMemoryLimit(words float64) Option {
+	return func(s *Scenario) { s.MemoryLimitWords = words }
+}
+
+// WithMaxBatchParallel caps the batch-parallel grid dimension Pc.
+func WithMaxBatchParallel(pc int) Option {
+	return func(s *Scenario) { s.MaxBatchParallel = pc }
+}
+
+// WithRedistribution prices the Eq. 6 strategy-boundary activation
+// redistribution.
+func WithRedistribution() Option {
+	return func(s *Scenario) { s.AddRedistribution = true }
+}
+
+// WithGrid pins one Pr × Pc factorization: Plan prices only it, and
+// Simulate requires it.
+func WithGrid(pr, pc int) Option {
+	return func(s *Scenario) { s.Grid = grid.Grid{Pr: pr, Pc: pc}.String() }
+}
+
+// LoadScenario reads a scenario JSON file (unknown fields are rejected).
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// DecodeScenario parses a scenario from JSON bytes (unknown fields are
+// rejected).
+func DecodeScenario(data []byte) (Scenario, error) { return scenario.Decode(data) }
+
+// machineDesc renders the platform a resolved scenario prices against.
+func machineDesc(opts planner.Options) string {
+	if !opts.Topology.IsZero() {
+		return opts.Topology.String()
+	}
+	return opts.Machine.String()
+}
+
+// Plan validates the scenario and searches its configuration space —
+// every Pr × Pc factorization of P (or only the pinned Grid), every rank
+// placement on a two-level topology, every micro-batch candidate —
+// returning the feasible plan with the lowest predicted iteration time.
+// Malformed scenarios return *ValidationError; searches with no feasible
+// configuration return *InfeasibleError; no panic escapes.
+func Plan(s Scenario) (*PlanResult, error) {
+	r, err := s.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	out := &PlanResult{
+		Scenario: s.Normalize(),
+		Machine:  machineDesc(r.Options),
+		Network:  r.Net.Name,
+	}
+	if r.Grid != nil {
+		p := planner.Evaluate(r.Net, r.Batch, *r.Grid, r.Options)
+		if !p.Feasible {
+			return nil, &InfeasibleError{Scenario: "grid " + p.Grid.String(), Reason: p.Reason}
+		}
+		res := planner.Result{Best: p, All: []planner.Plan{p}}
+		if p.Grid.IsPureBatch() {
+			pb := p
+			res.PureBatch = &pb
+		}
+		fillPlanResult(out, &res, r)
+		return out, nil
+	}
+	res, err := planner.Optimize(r.Net, r.Batch, r.Procs, r.Options)
+	if err != nil {
+		// Scenario validation already rejected every malformed input the
+		// planner checks, so what remains is an empty feasible set.
+		return nil, &InfeasibleError{
+			Scenario: fmt.Sprintf("B=%d P=%d", r.Batch, r.Procs),
+			Reason:   err.Error(),
+		}
+	}
+	fillPlanResult(out, &res, r)
+	return out, nil
+}
+
+// fillPlanResult translates a planner.Result into the serializable view.
+func fillPlanResult(out *PlanResult, res *planner.Result, r scenario.Resolved) {
+	out.Raw = res
+	out.Best = summarize(res.Best, r.Net)
+	for _, p := range res.All {
+		out.All = append(out.All, summarize(p, nil))
+	}
+	if res.PureBatch != nil {
+		pb := summarize(*res.PureBatch, nil)
+		out.PureBatch = &pb
+	}
+	out.SpeedupTotal, out.SpeedupComm = res.Speedup()
+}
+
+// Simulate validates the scenario and prices its pinned configuration
+// (Scenario.Grid is required) with the per-layer event-driven timeline,
+// returning the detailed schedule: makespan, exposed communication,
+// drain, bubble, and per-layer timings. Timeline scoring is always on —
+// Simulate's whole point is the schedule — under the scenario's Policy
+// (default: no overlap).
+func Simulate(s Scenario) (*SimResult, error) {
+	s.Timeline = true
+	r, err := s.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if r.Grid == nil {
+		return nil, &ValidationError{Field: "grid", Reason: `Simulate needs a pinned grid (e.g. "8x64"); use Plan to search`}
+	}
+	p := planner.Evaluate(r.Net, r.Batch, *r.Grid, r.Options)
+	if !p.Feasible {
+		return nil, &InfeasibleError{Scenario: "grid " + p.Grid.String(), Reason: p.Reason}
+	}
+	out := &SimResult{
+		Scenario: s.Normalize(),
+		Machine:  machineDesc(r.Options),
+		Network:  r.Net.Name,
+		Config:   summarize(p, r.Net),
+		Raw:      p.Timeline,
+	}
+	if tl := p.Timeline; tl != nil {
+		out.Makespan = tl.Makespan
+		out.ExposedCommSeconds = tl.ExposedCommSeconds
+		out.DrainSeconds = tl.DrainSeconds
+		out.BubbleSeconds = tl.BubbleSeconds
+		out.BubbleFraction = tl.BubbleFraction
+		out.MicroBatches = tl.MicroBatches
+		out.Stages = tl.Stages
+		for _, ls := range tl.PerLayer {
+			out.PerLayer = append(out.PerLayer, LayerTiming{
+				Layer:       ls.Name,
+				CompSeconds: ls.CompSeconds,
+				CommSeconds: ls.CommSeconds,
+				FwdExposed:  ls.FwdExposed,
+				BwdExposed:  ls.BwdExposed,
+			})
+		}
+	}
+	return out, nil
+}

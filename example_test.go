@@ -1,0 +1,65 @@
+package dnnparallel_test
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dnnparallel"
+)
+
+// ExamplePlan plans the paper's headline configuration — AlexNet,
+// B = 2048, P = 512 on Cori-KNL — in a few lines of library use.
+func ExamplePlan() {
+	sc := dnnparallel.New("alexnet", 2048, 512)
+	res, err := dnnparallel.Plan(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best grid %s: %.4gs/iter, %.2fx faster than pure batch\n",
+		res.Best.Grid, res.Best.IterSeconds, res.SpeedupTotal)
+	// Output: best grid 32x16: 0.03443s/iter, 4.49x faster than pure batch
+}
+
+// ExampleSimulate prices one pinned configuration with the per-layer
+// event-driven timeline under the backprop overlap policy.
+func ExampleSimulate() {
+	sc := dnnparallel.New("alexnet", 2048, 512,
+		dnnparallel.WithGrid(8, 64),
+		dnnparallel.WithTimeline(dnnparallel.PolicyBackprop))
+	res, err := dnnparallel.Simulate(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("grid 8x64: makespan %.4gs, exposed comm %.4gs\n",
+		res.Makespan, res.ExposedCommSeconds)
+	// Output: grid 8x64: makespan 0.02296s, exposed comm 0.0002352s
+}
+
+// ExampleNew shows that a Scenario is a stable JSON wire format: the
+// same spec drives the Go API, the CLIs (-config), and dnnserve.
+func ExampleNew() {
+	sc := dnnparallel.New("alexnet", 2048, 512,
+		dnnparallel.WithMicroBatches(dnnparallel.ScheduleOneFOneB, 1, 2, 4, 8),
+		dnnparallel.WithTimeline(dnnparallel.PolicyBackprop))
+	data, err := json.Marshal(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(data))
+	// Output: {"network":"alexnet","batch":2048,"procs":512,"dataset_n":1200000,"mode":"auto","timeline":true,"policy":"backprop","micro_batches":[1,2,4,8],"schedule":"1f1b"}
+}
+
+// ExampleLoadScenario plans straight from a scenario file — exactly what
+// `dnnplan -config` and `POST /v1/plan` consume.
+func ExampleLoadScenario() {
+	sc, err := dnnparallel.LoadScenario("examples/scenarios/alexnet-p512.json")
+	if err != nil {
+		panic(err)
+	}
+	res, err := dnnparallel.Plan(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s on %s: best grid %s\n", res.Network, res.Machine[:8], res.Best.Grid)
+	// Output: AlexNet on Cori-KNL: best grid 32x16
+}

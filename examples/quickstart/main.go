@@ -1,34 +1,34 @@
 // Quickstart: ask the planner how to parallelize AlexNet training on a
-// 512-node machine with a batch of 2048 — the paper's headline
-// configuration (Fig. 7) — in ~20 lines of library use.
+// 512-process machine with a batch of 2048 — the paper's headline
+// configuration (Fig. 7) — in ~10 lines of the public dnnparallel API.
 package main
 
 import (
 	"fmt"
 
-	"dnnparallel/internal/nn"
-	"dnnparallel/internal/planner"
+	"dnnparallel"
 )
 
 func main() {
-	net := nn.AlexNet()
-	fmt.Print(net.Summary())
-
-	opts := planner.DefaultOptions() // Table 1: Cori-KNL, ImageNet size
-	res, err := planner.Optimize(net, 2048, 512, opts)
+	sc := dnnparallel.New("alexnet", 2048, 512)
+	res, err := dnnparallel.Plan(sc)
 	if err != nil {
-		panic(err)
+		panic(err) // *ValidationError / *InfeasibleError; impossible here
 	}
 
-	fmt.Printf("\nBest configuration: grid %v (Pr=model/domain dim, Pc=batch dim)\n", res.Best.Grid)
+	fmt.Printf("Best configuration: grid %s (Pr=model/domain dim, Pc=batch dim)\n", res.Best.Grid)
 	fmt.Printf("  per-iteration: %.4gs communication + %.4gs computation = %.4gs\n",
 		res.Best.CommSeconds, res.Best.CompSeconds, res.Best.IterSeconds)
 	fmt.Printf("  per-epoch: %.4gs\n", res.Best.EpochSeconds)
-	for li, s := range res.Best.Assignment {
-		fmt.Printf("  layer %-8s → %v parallelism\n", net.Layers[li].Name, s)
+	for _, ls := range res.Best.Assignment {
+		fmt.Printf("  layer %-8s → %s parallelism\n", ls.Layer, ls.Strategy)
 	}
-	if total, comm := res.Speedup(); total > 0 {
+	if res.SpeedupTotal > 0 {
 		fmt.Printf("\nvs. the standard pure-batch approach: %.2fx faster overall, %.2fx less time communicating\n",
-			total, comm)
+			res.SpeedupTotal, res.SpeedupComm)
 	}
+
+	// The same question is one JSON file away from a service:
+	//   dnnserve &
+	//   curl -s localhost:8080/v1/plan -d @examples/scenarios/alexnet-p512.json
 }

@@ -1,0 +1,152 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"dnnparallel/internal/checkpoint"
+	"dnnparallel/internal/data"
+	"dnnparallel/internal/experiments"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/mpi"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/parallel"
+)
+
+// TrainMain is the dnntrain entry point: the executable simulated
+// cluster. A -config scenario supplies the batch size, process count,
+// grid, and machine (its flat α–β view); the engine-specific flags
+// (strategy, steps, lr, seed, …) stay flags because they describe the
+// training run, not the parallelism question a Scenario poses.
+func TrainMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dnntrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	config := fs.String("config", "", "scenario JSON file; supplies B, P, grid, and the machine (flags override)")
+	strategy := fs.String("strategy", "batch", "serial|batch|model|domain|integrated|full")
+	p := fs.Int("P", 4, "process count (batch/model/domain)")
+	pr := fs.Int("pr", 2, "grid rows Pr (integrated/full)")
+	pc := fs.Int("pc", 2, "grid cols Pc (integrated/full)")
+	steps := fs.Int("steps", 10, "SGD steps")
+	batch := fs.Int("B", 16, "global minibatch size")
+	lr := fs.Float64("lr", 0.05, "learning rate")
+	seed := fs.Int64("seed", 42, "random seed")
+	verify := fs.Bool("verify", false, "run every engine and compare to serial SGD")
+	momentum := fs.Float64("momentum", 0, "momentum coefficient (0 = plain SGD)")
+	saveTo := fs.String("save", "", "write a weight checkpoint to this path after training")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	set := visited(fs)
+
+	mach := experiments.Default().Machine
+	g := grid.Grid{Pr: *pr, Pc: *pc}
+	if *config != "" {
+		sc, err := loadBase(*config)
+		if err != nil {
+			fmt.Fprintln(stderr, "dnntrain:", err)
+			return 2
+		}
+		r, err := sc.Resolve()
+		if err != nil {
+			fmt.Fprintln(stderr, "dnntrain:", err)
+			return 2
+		}
+		// The executable engines see the flat α–β view (the topology's
+		// inter-node level when a two-level machine is specified).
+		mach = r.Options.Machine
+		if !set["B"] {
+			*batch = r.Batch
+		}
+		if !set["P"] {
+			*p = r.Procs
+		}
+		if r.Grid != nil {
+			if !set["pr"] {
+				g.Pr = r.Grid.Pr
+			}
+			if !set["pc"] {
+				g.Pc = r.Grid.Pc
+			}
+		}
+	}
+	if set["pr"] {
+		g.Pr = *pr
+	}
+	if set["pc"] {
+		g.Pc = *pc
+	}
+
+	if *verify {
+		reps, err := experiments.VerifyEngines(*steps, *batch, *seed, mach)
+		if err != nil {
+			fmt.Fprintln(stderr, "dnntrain:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, experiments.RenderEngineReports(reps))
+		return 0
+	}
+
+	spec := experiments.ReferenceConvNet()
+	ds := data.Synthetic(4*(*batch), spec.Input, spec.Output().C, *seed)
+	cfg := parallel.Config{Spec: spec, Seed: *seed + 1, LR: *lr, Steps: *steps, BatchSize: *batch}
+	if *momentum > 0 {
+		mu, eta := *momentum, *lr
+		cfg.NewOptimizer = func() nn.Optimizer { return &nn.Momentum{LR: eta, Mu: mu} }
+	}
+
+	var res parallel.Result
+	var err error
+	label := *strategy
+	switch *strategy {
+	case "serial":
+		res, err = parallel.RunSerial(cfg, ds)
+	case "batch":
+		res, err = parallel.RunBatch(mpi.NewWorld(*p, mach), cfg, ds)
+		label = fmt.Sprintf("batch (P=%d)", *p)
+	case "model":
+		res, err = parallel.RunModel(mpi.NewWorld(*p, mach), cfg, ds)
+		label = fmt.Sprintf("model (P=%d)", *p)
+	case "domain":
+		res, err = parallel.RunDomain(mpi.NewWorld(*p, mach), cfg, ds)
+		label = fmt.Sprintf("domain (P=%d)", *p)
+	case "integrated", "full":
+		res, err = parallel.RunFullIntegrated(mpi.NewWorld(g.P(), mach), cfg, ds, g)
+		label = fmt.Sprintf("integrated (grid %v)", g)
+	default:
+		fmt.Fprintf(stderr, "dnntrain: unknown strategy %q\n", *strategy)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "dnntrain:", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "%s on %s: B=%d, %d steps, lr=%g\n\n", label, spec.Name, *batch, *steps, *lr)
+	for i, l := range res.Losses {
+		fmt.Fprintf(stdout, "  step %2d  loss %.6f\n", i, l)
+	}
+	if len(res.Stats) > 0 {
+		var words, msgs int64
+		var comm float64
+		for _, s := range res.Stats {
+			words += s.WordsSent
+			msgs += s.Messages
+			if s.CommTime > comm {
+				comm = s.CommTime
+			}
+		}
+		fmt.Fprintf(stdout, "\nSimulated cluster: %d ranks, %d messages, %d words on the wire,\n", len(res.Stats), msgs, words)
+		fmt.Fprintf(stdout, "max per-rank communication time %.3gs (virtual, α=%.0gs 1/β=%.0f GB/s)\n",
+			comm, mach.Alpha, mach.BandwidthBytes()/1e9)
+	}
+	if *saveTo != "" {
+		snap := &checkpoint.Snapshot{Network: spec.Name, Step: *steps, Seed: *seed, Weights: res.Weights}
+		if err := checkpoint.SaveFile(*saveTo, snap); err != nil {
+			fmt.Fprintln(stderr, "dnntrain:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "checkpoint written to %s (step %d)\n", *saveTo, *steps)
+	}
+	return 0
+}

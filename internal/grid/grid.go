@@ -7,7 +7,11 @@
 // sharing a batch shard. This matches Fig. 5's P_ij indexing.
 package grid
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Grid is a logical Pr × Pc process grid.
 type Grid struct {
@@ -20,6 +24,24 @@ func New(pr, pc int) (Grid, error) {
 		return Grid{}, fmt.Errorf("grid: dimensions must be ≥ 1, got %d×%d", pr, pc)
 	}
 	return Grid{Pr: pr, Pc: pc}, nil
+}
+
+// Parse converts a "PrxPc" string (the String form, e.g. "8x64") back
+// into a Grid, validating both dimensions.
+func Parse(s string) (Grid, error) {
+	pr, pc, ok := strings.Cut(strings.ToLower(strings.TrimSpace(s)), "x")
+	if !ok {
+		return Grid{}, fmt.Errorf("grid: %q is not of the form PrxPc", s)
+	}
+	r, err := strconv.Atoi(strings.TrimSpace(pr))
+	if err != nil {
+		return Grid{}, fmt.Errorf("grid: bad Pr in %q: %v", s, err)
+	}
+	c, err := strconv.Atoi(strings.TrimSpace(pc))
+	if err != nil {
+		return Grid{}, fmt.Errorf("grid: bad Pc in %q: %v", s, err)
+	}
+	return New(r, c)
 }
 
 // P returns the total process count Pr·Pc.

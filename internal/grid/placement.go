@@ -48,6 +48,28 @@ func ParsePlacement(s string) (Placement, error) {
 	return RowMajor, fmt.Errorf("grid: unknown placement %q (want row-major|col-major)", s)
 }
 
+// MarshalText implements encoding.TextMarshaler so a Placement embeds in
+// JSON specs as its canonical string. Out-of-range values error rather
+// than emitting an unparseable "Placement(n)".
+func (p Placement) MarshalText() ([]byte, error) {
+	switch p {
+	case RowMajor, ColMajor:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("grid: cannot marshal invalid placement %d", int(p))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePlacement,
+// so String → Parse round-trips through JSON exactly.
+func (p *Placement) UnmarshalText(text []byte) error {
+	v, err := ParsePlacement(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // MachineRank returns the machine rank of process (r, c) under a
 // placement. The logical rank (Grid.Rank) is the RowMajor special case.
 func (g Grid) MachineRank(r, c int, pl Placement) int {

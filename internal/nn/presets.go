@@ -1,6 +1,9 @@
 package nn
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // AlexNet returns the single-tower AlexNet used throughout the paper's
 // evaluation: 5 convolutional and 3 fully-connected layers on 227×227×3
@@ -162,4 +165,23 @@ func mustInfer(n *Network) {
 	if err := n.Infer(); err != nil {
 		panic(err)
 	}
+}
+
+// PresetNames lists the networks Preset accepts, in display order.
+func PresetNames() []string { return []string{"alexnet", "vgg16", "onebyone", "resnet50"} }
+
+// Preset returns the named preset network — the single lookup behind
+// every CLI flag and scenario spec, so the name table cannot fork.
+func Preset(name string) (*Network, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "alexnet":
+		return AlexNet(), nil
+	case "vgg16":
+		return VGG16(), nil
+	case "onebyone":
+		return OneByOneNet(), nil
+	case "resnet50":
+		return ResNet50Proxy(), nil
+	}
+	return nil, fmt.Errorf("nn: unknown network preset %q (want alexnet|vgg16|onebyone|resnet50)", name)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"dnnparallel/internal/compute"
 	"dnnparallel/internal/costmodel"
@@ -51,6 +52,44 @@ func (m Mode) String() string {
 		return "auto"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a flag or spec value into a Mode. The empty string
+// parses as Uniform (the zero value), mirroring timeline.ParsePolicy.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uniform", "":
+		return Uniform, nil
+	case "conv-batch", "convbatch":
+		return ConvBatch, nil
+	case "conv-domain", "convdomain":
+		return ConvDomain, nil
+	case "auto":
+		return Auto, nil
+	}
+	return Uniform, fmt.Errorf("planner: unknown mode %q (want uniform|conv-batch|conv-domain|auto)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler so a Mode embeds in JSON
+// specs as its canonical string. Out-of-range values error rather than
+// emitting an unparseable "Mode(n)".
+func (m Mode) MarshalText() ([]byte, error) {
+	switch m {
+	case Uniform, ConvBatch, ConvDomain, Auto:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("planner: cannot marshal invalid mode %d", int(m))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseMode, so
+// String → Parse round-trips through JSON exactly.
+func (m *Mode) UnmarshalText(text []byte) error {
+	v, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
 }
 
 // Options configures a planning run. The zero value is not useful; use

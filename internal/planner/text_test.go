@@ -1,0 +1,134 @@
+package planner
+
+import (
+	"encoding"
+	"testing"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/timeline"
+)
+
+// textEnum is one enum value under round-trip test: marshal must emit
+// String(), and unmarshal of that text must restore the value.
+type textEnum struct {
+	name      string
+	value     encoding.TextMarshaler
+	fresh     func() encoding.TextUnmarshaler
+	equals    func(encoding.TextUnmarshaler) bool
+	canonical string
+}
+
+// TestTextRoundTrip drives every public enum through
+// MarshalText → UnmarshalText and Parse…(String()) so CLI flag tables,
+// JSON scenario specs, and the Go constants can never drift apart.
+func TestTextRoundTrip(t *testing.T) {
+	var cases []textEnum
+	for _, m := range []Mode{Uniform, ConvBatch, ConvDomain, Auto} {
+		m := m
+		cases = append(cases, textEnum{
+			name:      "mode/" + m.String(),
+			value:     m,
+			fresh:     func() encoding.TextUnmarshaler { return new(Mode) },
+			equals:    func(u encoding.TextUnmarshaler) bool { return *(u.(*Mode)) == m },
+			canonical: m.String(),
+		})
+	}
+	for _, p := range []timeline.Policy{timeline.PolicyNone, timeline.PolicyBackprop, timeline.PolicyFull} {
+		p := p
+		cases = append(cases, textEnum{
+			name:      "policy/" + p.String(),
+			value:     p,
+			fresh:     func() encoding.TextUnmarshaler { return new(timeline.Policy) },
+			equals:    func(u encoding.TextUnmarshaler) bool { return *(u.(*timeline.Policy)) == p },
+			canonical: p.String(),
+		})
+	}
+	for _, s := range []timeline.Shape{timeline.GPipe, timeline.OneFOneB} {
+		s := s
+		cases = append(cases, textEnum{
+			name:      "shape/" + s.String(),
+			value:     s,
+			fresh:     func() encoding.TextUnmarshaler { return new(timeline.Shape) },
+			equals:    func(u encoding.TextUnmarshaler) bool { return *(u.(*timeline.Shape)) == s },
+			canonical: s.String(),
+		})
+	}
+	for _, p := range grid.Placements() {
+		p := p
+		cases = append(cases, textEnum{
+			name:      "placement/" + p.String(),
+			value:     p,
+			fresh:     func() encoding.TextUnmarshaler { return new(grid.Placement) },
+			equals:    func(u encoding.TextUnmarshaler) bool { return *(u.(*grid.Placement)) == p },
+			canonical: p.String(),
+		})
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			text, err := c.value.MarshalText()
+			if err != nil {
+				t.Fatalf("MarshalText: %v", err)
+			}
+			if string(text) != c.canonical {
+				t.Fatalf("MarshalText = %q, want String() = %q", text, c.canonical)
+			}
+			u := c.fresh()
+			if err := u.UnmarshalText(text); err != nil {
+				t.Fatalf("UnmarshalText(%q): %v", text, err)
+			}
+			if !c.equals(u) {
+				t.Fatalf("UnmarshalText(%q) did not restore the value", text)
+			}
+		})
+	}
+}
+
+// TestParseModeRoundTrip pins the Parse…(String()) identity and the error
+// path the CLIs used to hand-roll as a switch.
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{Uniform, ConvBatch, ConvDomain, Auto} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := ParseMode("nonsense"); err == nil {
+		t.Fatal("ParseMode(nonsense): expected an error")
+	}
+	if m, err := ParseMode(""); err != nil || m != Uniform {
+		t.Fatalf("ParseMode(\"\") = %v, %v; want Uniform", m, err)
+	}
+}
+
+// TestInvalidEnumMarshalErrors: out-of-range values must refuse to
+// marshal instead of emitting an unparseable "Mode(n)" form.
+func TestInvalidEnumMarshalErrors(t *testing.T) {
+	if _, err := Mode(99).MarshalText(); err == nil {
+		t.Error("Mode(99).MarshalText: expected an error")
+	}
+	if _, err := timeline.Policy(99).MarshalText(); err == nil {
+		t.Error("Policy(99).MarshalText: expected an error")
+	}
+	if _, err := timeline.Shape(99).MarshalText(); err == nil {
+		t.Error("Shape(99).MarshalText: expected an error")
+	}
+	if _, err := grid.Placement(99).MarshalText(); err == nil {
+		t.Error("Placement(99).MarshalText: expected an error")
+	}
+}
+
+// TestGridParseRoundTrip pins grid.Parse(String()) for the spec's pinned
+// grids.
+func TestGridParseRoundTrip(t *testing.T) {
+	for _, g := range []grid.Grid{{Pr: 1, Pc: 1}, {Pr: 8, Pc: 64}, {Pr: 512, Pc: 1}} {
+		got, err := grid.Parse(g.String())
+		if err != nil || got != g {
+			t.Fatalf("grid.Parse(%q) = %v, %v; want %v", g.String(), got, err, g)
+		}
+	}
+	for _, bad := range []string{"", "8", "x", "8x", "x64", "0x4", "8x-1", "axb"} {
+		if _, err := grid.Parse(bad); err == nil {
+			t.Errorf("grid.Parse(%q): expected an error", bad)
+		}
+	}
+}

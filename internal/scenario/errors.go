@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dnnparallel/internal/compute"
+)
+
+// ValidationError is the typed error every malformed spec surfaces as.
+// The public façade and the dnnserve HTTP service both branch on it
+// (errors.As) to distinguish a bad request from an internal failure — a
+// malformed scenario can therefore never crash a server, and no panic is
+// recovered anywhere on the boundary: invalid inputs are rejected before
+// the internal panic-based fast paths can see them.
+type ValidationError struct {
+	// Field is the JSON path of the offending field ("batch",
+	// "topology.nodes", …) or "json" for a decode failure.
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("scenario: invalid %s: %s", e.Field, e.Reason)
+}
+
+// invalid builds a *ValidationError with a formatted reason.
+func invalid(field, format string, args ...any) *ValidationError {
+	return &ValidationError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// DefaultCompute is the compute model every scenario resolves with: the
+// paper's Fig. 4 calibration (its Peak is then re-tied to the resolved
+// machine's PeakFlops so a machine override propagates).
+func DefaultCompute() compute.Model { return compute.KNLCaffe() }

@@ -1,0 +1,452 @@
+// Package scenario defines the declarative, JSON-round-trippable
+// description of one planning or simulation question: which network,
+// which machine, which batch, and which parallelism search space. It is
+// the serializable face of planner.Options — every implicit cross-field
+// invariant of the flag-per-knob era is resolved here by construction:
+//
+//   - micro-batch candidates > 1 imply timeline scoring (Normalize turns
+//     Timeline on instead of erroring later, matching the planner's
+//     requirement that pipeline schedules are scored by the simulator);
+//   - Machine and Topology are mutually exclusive (the Options.Topology
+//     field used to silently shadow Options.Machine; a Scenario that sets
+//     both is rejected eagerly with a typed error);
+//   - Procs and Topology.Nodes×RanksPerNode must agree, and either can
+//     derive the other.
+//
+// The JSON form is canonical: Normalize sorts and dedupes the search
+// lists and fills derivable fields, after which Marshal → Unmarshal →
+// Marshal is bit-exact. Canonical() returns that byte form — the cache
+// key of the dnnserve planning service.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
+)
+
+// LinkSpec overrides one α–β link level. Zero fields keep the
+// platform's default for that level (Cori-KNL: Aries between nodes,
+// shared memory within one).
+type LinkSpec struct {
+	// AlphaSeconds is the per-message latency in seconds.
+	AlphaSeconds float64 `json:"alpha_seconds,omitempty"`
+	// BandwidthGBs is the link bandwidth in GB/s (the paper quotes 1/β
+	// this way; β itself is derived as WordBytes / (GB/s × 1e9)).
+	BandwidthGBs float64 `json:"bandwidth_gbs,omitempty"`
+}
+
+// link resolves the spec against a default link.
+func (l *LinkSpec) link(def machine.Link) machine.Link {
+	if l == nil {
+		return def
+	}
+	out := def
+	if l.AlphaSeconds != 0 {
+		out.Alpha = l.AlphaSeconds
+	}
+	if l.BandwidthGBs != 0 {
+		out.Beta = machine.WordBytes / (l.BandwidthGBs * 1e9)
+	}
+	return out
+}
+
+// MachineSpec overrides the flat α–β machine (default: the paper's
+// Table 1 Cori-KNL). Mutually exclusive with TopologySpec.
+type MachineSpec struct {
+	Name string `json:"name,omitempty"`
+	// AlphaSeconds is the network latency per message in seconds.
+	AlphaSeconds float64 `json:"alpha_seconds,omitempty"`
+	// BandwidthGBs is the network bandwidth in GB/s.
+	BandwidthGBs float64 `json:"bandwidth_gbs,omitempty"`
+	// PeakTFlops is the per-process peak rate in TFLOP/s.
+	PeakTFlops float64 `json:"peak_tflops,omitempty"`
+}
+
+// resolve applies the overrides to the default machine.
+func (m *MachineSpec) resolve() machine.Machine {
+	out := machine.CoriKNL()
+	if m == nil {
+		return out
+	}
+	if m.Name != "" {
+		out.Name = m.Name
+	}
+	if m.AlphaSeconds != 0 {
+		out.Alpha = m.AlphaSeconds
+	}
+	if m.BandwidthGBs != 0 {
+		out.Beta = machine.WordBytes / (m.BandwidthGBs * 1e9)
+	}
+	if m.PeakTFlops != 0 {
+		out.PeakFlops = m.PeakTFlops * 1e12
+	}
+	return out
+}
+
+// TopologySpec selects the two-level intra-/inter-node machine: ranks
+// are packed RanksPerNode per node, and the two link levels default to
+// the Cori two-level setting (machine.CoriKNLNodes). Mutually exclusive
+// with MachineSpec.
+type TopologySpec struct {
+	// Nodes is the node count. When > 0 it must agree with the
+	// scenario's procs (procs = nodes × ranks_per_node); either field
+	// derives the other.
+	Nodes int `json:"nodes,omitempty"`
+	// RanksPerNode is the number of processes packed per node (≥ 1).
+	RanksPerNode int `json:"ranks_per_node"`
+	// Intra and Inter override the two link levels.
+	Intra *LinkSpec `json:"intra,omitempty"`
+	Inter *LinkSpec `json:"inter,omitempty"`
+	// PeakTFlops overrides the per-process peak rate in TFLOP/s.
+	PeakTFlops float64 `json:"peak_tflops,omitempty"`
+}
+
+// resolve builds the machine.Topology.
+func (t *TopologySpec) resolve() machine.Topology {
+	topo := machine.CoriKNLNodes(t.RanksPerNode)
+	topo.Intra = t.Intra.link(topo.Intra)
+	topo.Inter = t.Inter.link(topo.Inter)
+	if t.PeakTFlops != 0 {
+		topo.PeakFlops = t.PeakTFlops * 1e12
+	}
+	return topo
+}
+
+// Scenario is the declarative spec. The zero value is not useful; start
+// from Default (or the root package's New builder) or a JSON file, then
+// Normalize + Validate — Plan and Simulate do both eagerly.
+type Scenario struct {
+	// Network names a preset: alexnet|vgg16|onebyone|resnet50.
+	Network string `json:"network"`
+	// Batch is the global minibatch size B (≥ 1).
+	Batch int `json:"batch"`
+	// Procs is the process count P (≥ 1; derivable from Topology).
+	Procs int `json:"procs"`
+	// DatasetN, when > 0, also prices epochs (×⌈N/B⌉).
+	DatasetN int `json:"dataset_n,omitempty"`
+
+	// Machine overrides the flat α–β platform; Topology switches to the
+	// two-level intra-/inter-node platform. Setting both is an error —
+	// a topology carries its own inter-node link, so there is nothing
+	// left for a flat machine to mean.
+	Machine  *MachineSpec  `json:"machine,omitempty"`
+	Topology *TopologySpec `json:"topology,omitempty"`
+
+	// Mode is the conv-layer search mode. Absent in JSON = uniform (the
+	// zero value); Default() and the builders use auto.
+	Mode planner.Mode `json:"mode"`
+	// Placements constrains the rank-placement search (two-level
+	// topology only). Empty = automatic.
+	Placements []grid.Placement `json:"placements,omitempty"`
+	// Overlap applies the Fig. 8 closed-form comm/backprop overlap.
+	// Ignored when Timeline is set (the timeline policy subsumes it).
+	Overlap bool `json:"overlap,omitempty"`
+	// Timeline scores every candidate with the per-layer event-driven
+	// simulator under Policy. Normalize turns it on whenever a
+	// micro-batch candidate exceeds 1 — pipeline schedules are only
+	// scorable by the simulator, so the old MicroBatches/UseTimeline
+	// invariant cannot be violated by construction.
+	Timeline bool            `json:"timeline,omitempty"`
+	Policy   timeline.Policy `json:"policy,omitempty"`
+	// MicroBatches lists candidate micro-batch counts M (sorted and
+	// deduped by Normalize; empty = {1}, no pipelining).
+	MicroBatches []int `json:"micro_batches,omitempty"`
+	// Schedule is the pipeline shape for M > 1 (gpipe|1f1b).
+	Schedule timeline.Shape `json:"schedule,omitempty"`
+	// PipelineStages is the stage count S (0 ⇒ 1).
+	PipelineStages int `json:"pipeline_stages,omitempty"`
+	// MemoryLimitWords, when > 0, rejects plans whose per-process
+	// footprint exceeds the limit.
+	MemoryLimitWords float64 `json:"memory_limit_words,omitempty"`
+	// MaxBatchParallel, when > 0, caps the Pc grid dimension.
+	MaxBatchParallel int `json:"max_batch_parallel,omitempty"`
+	// AddRedistribution prices the Eq. 6 strategy-boundary activation
+	// redistribution.
+	AddRedistribution bool `json:"add_redistribution,omitempty"`
+
+	// Grid pins one PrxPc factorization (e.g. "8x64"). Plan then prices
+	// only that grid; Simulate requires it.
+	Grid string `json:"grid,omitempty"`
+}
+
+// Default returns the paper's headline configuration: AlexNet, B = 2048,
+// P = 512, ImageNet-sized dataset, auto per-layer strategy on Cori-KNL.
+func Default() Scenario {
+	return Scenario{
+		Network:  "alexnet",
+		Batch:    2048,
+		Procs:    512,
+		DatasetN: 1200000,
+		Mode:     planner.Auto,
+	}
+}
+
+// Normalize fills derivable fields and rewrites the spec into its
+// canonical form: network lowercased, micro-batch candidates sorted and
+// deduped (dropped entirely when they degenerate to {1}), placements
+// deduped in search order, the grid string re-rendered, procs derived
+// from the topology when absent, and Timeline switched on when any
+// micro-batch candidate exceeds 1. Normalizing twice is a no-op; a
+// normalized scenario marshals bit-exactly stable JSON. Fields it cannot
+// interpret (an unknown network, a malformed grid) are left for Validate
+// to report.
+func (s Scenario) Normalize() Scenario {
+	out := s
+	if _, err := nn.Preset(out.Network); err == nil {
+		// nn.Preset keys are lowercase, so this IS the canonical key.
+		out.Network = strings.ToLower(strings.TrimSpace(out.Network))
+	}
+	if len(out.MicroBatches) > 0 {
+		ms := append([]int(nil), out.MicroBatches...)
+		sort.Ints(ms)
+		dst := ms[:0]
+		for i, m := range ms {
+			if i == 0 || m != dst[len(dst)-1] {
+				dst = append(dst, m)
+			}
+		}
+		ms = dst
+		if len(ms) == 1 && ms[0] == 1 {
+			ms = nil // {1} is the implicit default: no pipelining
+		}
+		out.MicroBatches = ms
+		for _, m := range ms {
+			if m > 1 {
+				out.Timeline = true // pipelines are scored by the simulator
+			}
+		}
+	}
+	if out.Timeline {
+		out.Overlap = false // the timeline policy subsumes the closed form
+	}
+	if len(out.Placements) > 0 {
+		pls := append([]grid.Placement(nil), out.Placements...)
+		sort.Slice(pls, func(i, j int) bool { return pls[i] < pls[j] })
+		dst := pls[:0]
+		for i, p := range pls {
+			if i == 0 || p != dst[len(dst)-1] {
+				dst = append(dst, p)
+			}
+		}
+		out.Placements = dst
+	}
+	if out.Topology != nil {
+		t := *out.Topology
+		if t.RanksPerNode > 0 {
+			if t.Nodes == 0 && out.Procs > 0 && out.Procs%t.RanksPerNode == 0 {
+				t.Nodes = out.Procs / t.RanksPerNode
+			}
+			if out.Procs == 0 && t.Nodes > 0 {
+				out.Procs = t.Nodes * t.RanksPerNode
+			}
+		}
+		out.Topology = &t
+	}
+	if g, err := grid.Parse(out.Grid); err == nil {
+		out.Grid = g.String()
+	}
+	return out
+}
+
+// Validate reports the first problem with the (ideally normalized) spec
+// as a *ValidationError. A valid scenario resolves without panicking
+// anywhere downstream: the boundary panics of the internal fast paths
+// are guarded either here (EpochIterations on B ≤ 0 or N < 0, machine
+// constants feeding the timeline's non-negativity checks) or by the
+// planner's own per-candidate feasibility checks (MemoryPipeline's B%M
+// divisibility, which skips non-dividing candidates before pricing).
+func (s Scenario) Validate() error {
+	if _, err := nn.Preset(s.Network); err != nil {
+		return invalid("network", "%v", err)
+	}
+	if s.Batch < 1 {
+		return invalid("batch", "need a global batch ≥ 1, got %d", s.Batch)
+	}
+	if s.Procs < 1 {
+		return invalid("procs", "need a process count ≥ 1, got %d (set procs or topology nodes × ranks_per_node)", s.Procs)
+	}
+	if s.DatasetN < 0 {
+		return invalid("dataset_n", "need a dataset size ≥ 0, got %d", s.DatasetN)
+	}
+	if s.Machine != nil && s.Topology != nil {
+		return invalid("machine", "machine and topology are mutually exclusive: a topology carries its own inter-node link")
+	}
+	if s.Machine != nil {
+		if err := s.Machine.resolve().Validate(); err != nil {
+			return invalid("machine", "%v", err)
+		}
+	}
+	if s.Topology != nil {
+		t := s.Topology
+		if t.RanksPerNode < 1 {
+			return invalid("topology.ranks_per_node", "need ≥ 1 rank per node, got %d", t.RanksPerNode)
+		}
+		if err := t.resolve().Validate(); err != nil {
+			return invalid("topology", "%v", err)
+		}
+		if t.Nodes < 0 {
+			return invalid("topology.nodes", "need a node count ≥ 0, got %d", t.Nodes)
+		}
+		if t.Nodes > 0 && s.Procs != t.Nodes*t.RanksPerNode {
+			return invalid("topology.nodes", "procs=%d conflicts with nodes %d × ranks_per_node %d = %d",
+				s.Procs, t.Nodes, t.RanksPerNode, t.Nodes*t.RanksPerNode)
+		}
+	}
+	if _, err := s.Mode.MarshalText(); err != nil {
+		return invalid("mode", "%v", err)
+	}
+	for _, p := range s.Placements {
+		if _, err := p.MarshalText(); err != nil {
+			return invalid("placements", "%v", err)
+		}
+	}
+	if _, err := s.Policy.MarshalText(); err != nil {
+		return invalid("policy", "%v", err)
+	}
+	if _, err := s.Schedule.MarshalText(); err != nil {
+		return invalid("schedule", "%v", err)
+	}
+	divides := len(s.MicroBatches) == 0
+	for _, m := range s.MicroBatches {
+		if m < 1 {
+			return invalid("micro_batches", "candidates must be ≥ 1, got %d", m)
+		}
+		if m > 1 && !s.Timeline {
+			// Unreachable after Normalize; kept so a hand-built spec
+			// fails eagerly instead of inside the planner.
+			return invalid("micro_batches", "M=%d needs timeline scoring (Normalize sets it)", m)
+		}
+		if s.Batch%m == 0 {
+			divides = true
+		}
+	}
+	if !divides {
+		// Individual non-dividing candidates are skipped by the search
+		// (a sweep like {1,2,3,4} over B=100 is fine), but when *no*
+		// candidate divides B the whole search space is empty by
+		// construction — a spec error, not a planning outcome.
+		return invalid("micro_batches", "no candidate in %v divides batch %d", s.MicroBatches, s.Batch)
+	}
+	if s.PipelineStages < 0 {
+		return invalid("pipeline_stages", "need a stage count ≥ 0, got %d", s.PipelineStages)
+	}
+	if s.MemoryLimitWords < 0 {
+		return invalid("memory_limit_words", "need a limit ≥ 0, got %g", s.MemoryLimitWords)
+	}
+	if s.MaxBatchParallel < 0 {
+		return invalid("max_batch_parallel", "need a cap ≥ 0, got %d", s.MaxBatchParallel)
+	}
+	if s.Grid != "" {
+		g, err := grid.Parse(s.Grid)
+		if err != nil {
+			return invalid("grid", "%v", err)
+		}
+		if g.P() != s.Procs {
+			return invalid("grid", "grid %v uses %d processes but procs=%d", g, g.P(), s.Procs)
+		}
+	}
+	return nil
+}
+
+// Canonical returns the canonical byte form: the compact JSON of the
+// normalized scenario. Two scenarios describing the same question have
+// identical canonical bytes — the dnnserve plan-cache key.
+func (s Scenario) Canonical() ([]byte, error) {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Resolved is a scenario lowered onto the internal planning types.
+type Resolved struct {
+	Net     *nn.Network
+	Batch   int
+	Procs   int
+	Options planner.Options
+	// Grid is the pinned factorization, nil when the scenario searches
+	// all of them.
+	Grid *grid.Grid
+}
+
+// Resolve normalizes, validates, and lowers the scenario. The returned
+// Options are complete: callers hand them straight to planner.Optimize
+// or planner.Evaluate.
+func (s Scenario) Resolve() (Resolved, error) {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return Resolved{}, err
+	}
+	net, err := nn.Preset(n.Network)
+	if err != nil { // unreachable: Validate checked
+		return Resolved{}, invalid("network", "%v", err)
+	}
+	r := Resolved{Net: net, Batch: n.Batch, Procs: n.Procs}
+	opts := planner.Options{
+		Machine:           n.Machine.resolve(),
+		Mode:              n.Mode,
+		Overlap:           n.Overlap,
+		DatasetN:          n.DatasetN,
+		MemoryLimitWords:  n.MemoryLimitWords,
+		AddRedistribution: n.AddRedistribution,
+		MaxPc:             n.MaxBatchParallel,
+		UseTimeline:       n.Timeline,
+		TimelinePolicy:    n.Policy,
+		MicroBatches:      n.MicroBatches,
+		Schedule:          n.Schedule,
+		PipelineStages:    n.PipelineStages,
+		Placements:        n.Placements,
+	}
+	if n.Topology != nil {
+		opts.Topology = n.Topology.resolve()
+		// The flat view a topology-unaware consumer should see: every
+		// link priced at the inter-node level. This replaces the old
+		// silent shadowing — Machine is *derived from* Topology, never
+		// set alongside it.
+		opts.Machine = opts.Topology.Machine()
+	}
+	cm := DefaultCompute()
+	cm.Peak = opts.Machine.PeakFlops
+	opts.Compute = cm
+	r.Options = opts
+	if n.Grid != "" {
+		g, err := grid.Parse(n.Grid)
+		if err != nil { // unreachable: Validate checked
+			return Resolved{}, invalid("grid", "%v", err)
+		}
+		r.Grid = &g
+	}
+	return r, nil
+}
+
+// Load reads and decodes a scenario JSON file. Unknown fields are
+// rejected — a typo in a spec must not silently plan something else.
+func Load(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Decode(data)
+}
+
+// Decode parses a scenario from JSON bytes, rejecting unknown fields.
+func Decode(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, &ValidationError{Field: "json", Reason: err.Error()}
+	}
+	return s, nil
+}

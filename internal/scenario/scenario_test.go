@@ -1,0 +1,333 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
+)
+
+// variants is the spec matrix the round-trip tests sweep: the paper's
+// headline flat scenario, the two-level topology scenario, and the
+// pipeline search scenario.
+func variants() map[string]Scenario {
+	flat := Default()
+	topo := Default()
+	topo.Procs = 1024
+	topo.Topology = &TopologySpec{Nodes: 64, RanksPerNode: 16}
+	pipe := Default()
+	pipe.Timeline = true
+	pipe.Policy = timeline.PolicyBackprop
+	pipe.MicroBatches = []int{1, 2, 4, 8}
+	pipe.Schedule = timeline.OneFOneB
+	return map[string]Scenario{"flat": flat, "topology": topo, "pipeline": pipe}
+}
+
+// TestJSONRoundTripBitExact: marshal → unmarshal → marshal must be
+// byte-identical for every variant, both compact and indented — the
+// acceptance criterion that makes a Scenario a stable wire format.
+func TestJSONRoundTripBitExact(t *testing.T) {
+	for name, sc := range variants() {
+		t.Run(name, func(t *testing.T) {
+			n := sc.Normalize()
+			first, err := json.Marshal(n)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := Decode(first)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			second, err := json.Marshal(back)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("round trip not bit-exact:\n first %s\nsecond %s", first, second)
+			}
+			if !reflect.DeepEqual(n, back) {
+				t.Fatalf("decoded scenario differs: %+v vs %+v", n, back)
+			}
+		})
+	}
+}
+
+// TestGoldenScenarioFiles pins the example scenario files (the CI smoke
+// inputs and README examples) to the canonical indented JSON form: each
+// file must already be normalized, decode cleanly, and re-render
+// byte-identically. Spec-format drift therefore fails the push.
+func TestGoldenScenarioFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/scenarios: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected at least 3 golden scenario files, found %d", len(entries))
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			path := filepath.Join(dir, e.Name())
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Load(path)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			norm := sc.Normalize()
+			if !reflect.DeepEqual(sc, norm) {
+				t.Errorf("golden file is not normalized: %+v vs %+v", sc, norm)
+			}
+			if err := norm.Validate(); err != nil {
+				t.Fatalf("golden file does not validate: %v", err)
+			}
+			canon, err := json.MarshalIndent(norm, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon = append(canon, '\n')
+			if !bytes.Equal(raw, canon) {
+				t.Errorf("golden file drifted from canonical form:\n--- file ---\n%s--- canonical ---\n%s", raw, canon)
+			}
+			if _, err := norm.Resolve(); err != nil {
+				t.Errorf("golden file does not resolve: %v", err)
+			}
+		})
+	}
+}
+
+// TestNormalize covers every canonicalization rule.
+func TestNormalize(t *testing.T) {
+	s := Default()
+	s.Network = "  AlexNet "
+	s.MicroBatches = []int{8, 2, 2, 4, 1, 8}
+	s.Placements = []grid.Placement{grid.ColMajor, grid.RowMajor, grid.ColMajor}
+	s.Grid = " 8X64 "
+	n := s.Normalize()
+	if n.Network != "alexnet" {
+		t.Errorf("network not canonicalized: %q", n.Network)
+	}
+	if want := []int{1, 2, 4, 8}; !reflect.DeepEqual(n.MicroBatches, want) {
+		t.Errorf("micro batches = %v, want %v", n.MicroBatches, want)
+	}
+	if !n.Timeline {
+		t.Error("micro batches > 1 must imply timeline scoring")
+	}
+	if want := []grid.Placement{grid.RowMajor, grid.ColMajor}; !reflect.DeepEqual(n.Placements, want) {
+		t.Errorf("placements = %v, want %v", n.Placements, want)
+	}
+	if n.Grid != "8x64" {
+		t.Errorf("grid not canonicalized: %q", n.Grid)
+	}
+	if !reflect.DeepEqual(n.Normalize(), n) {
+		t.Error("Normalize is not idempotent")
+	}
+
+	// {1} degenerates to the implicit default.
+	s2 := Default()
+	s2.MicroBatches = []int{1, 1}
+	if n2 := s2.Normalize(); n2.MicroBatches != nil || n2.Timeline {
+		t.Errorf("micro {1,1} should normalize away, got %v timeline=%v", n2.MicroBatches, n2.Timeline)
+	}
+
+	// Timeline subsumes the closed-form overlap flag.
+	s3 := Default()
+	s3.Overlap = true
+	s3.Timeline = true
+	if n3 := s3.Normalize(); n3.Overlap {
+		t.Error("timeline scoring should clear the closed-form overlap flag")
+	}
+
+	// Topology derives procs and nodes.
+	s4 := Default()
+	s4.Procs = 0
+	s4.Topology = &TopologySpec{Nodes: 32, RanksPerNode: 16}
+	if n4 := s4.Normalize(); n4.Procs != 512 {
+		t.Errorf("procs not derived from topology: %d", n4.Procs)
+	}
+	s5 := Default()
+	s5.Procs = 512
+	s5.Topology = &TopologySpec{RanksPerNode: 16}
+	if n5 := s5.Normalize(); n5.Topology.Nodes != 32 {
+		t.Errorf("nodes not derived from procs: %d", n5.Topology.Nodes)
+	}
+}
+
+// TestCanonicalKey: scenarios describing the same question must share
+// canonical bytes regardless of spelling — the dnnserve cache contract.
+func TestCanonicalKey(t *testing.T) {
+	a := Default()
+	a.MicroBatches = []int{8, 4, 2}
+	a.Timeline = true
+	b := Default()
+	b.Network = "ALEXNET"
+	b.MicroBatches = []int{2, 2, 4, 8}
+	ka, err := a.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, kb) {
+		t.Fatalf("canonical keys differ:\n%s\n%s", ka, kb)
+	}
+	c := Default()
+	c.Batch = 1024
+	kc, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ka, kc) {
+		t.Fatal("different scenarios share a canonical key")
+	}
+}
+
+// TestValidateErrors drives every typed-error path and checks the field
+// names a client would key on.
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]struct {
+		mutate func(*Scenario)
+		field  string
+	}{
+		"unknown network": {func(s *Scenario) { s.Network = "lenet" }, "network"},
+		"zero batch":      {func(s *Scenario) { s.Batch = 0 }, "batch"},
+		"negative batch":  {func(s *Scenario) { s.Batch = -8 }, "batch"},
+		"zero procs":      {func(s *Scenario) { s.Procs = 0 }, "procs"},
+		"negative data":   {func(s *Scenario) { s.DatasetN = -1 }, "dataset_n"},
+		"machine and topology": {func(s *Scenario) {
+			s.Machine = &MachineSpec{AlphaSeconds: 1e-6}
+			s.Topology = &TopologySpec{RanksPerNode: 16}
+		}, "machine"},
+		"bad machine": {func(s *Scenario) { s.Machine = &MachineSpec{BandwidthGBs: -1} }, "machine"},
+		"bad ranks per node": {func(s *Scenario) {
+			s.Topology = &TopologySpec{RanksPerNode: 0}
+		}, "topology.ranks_per_node"},
+		"nodes conflict": {func(s *Scenario) {
+			s.Topology = &TopologySpec{Nodes: 3, RanksPerNode: 16}
+		}, "topology.nodes"},
+		"bad mode":       {func(s *Scenario) { s.Mode = planner.Mode(99) }, "mode"},
+		"bad policy":     {func(s *Scenario) { s.Policy = timeline.Policy(99) }, "policy"},
+		"bad schedule":   {func(s *Scenario) { s.Schedule = timeline.Shape(99) }, "schedule"},
+		"bad placement":  {func(s *Scenario) { s.Placements = []grid.Placement{grid.Placement(99)} }, "placements"},
+		"zero micro":     {func(s *Scenario) { s.MicroBatches = []int{0} }, "micro_batches"},
+		"negative micro": {func(s *Scenario) { s.MicroBatches = []int{-2} }, "micro_batches"},
+		"micro sans timeline": {func(s *Scenario) {
+			s.MicroBatches = []int{4} // hand-built, not normalized
+		}, "micro_batches"},
+		"negative stages":  {func(s *Scenario) { s.PipelineStages = -1 }, "pipeline_stages"},
+		"negative memory":  {func(s *Scenario) { s.MemoryLimitWords = -1 }, "memory_limit_words"},
+		"negative max pc":  {func(s *Scenario) { s.MaxBatchParallel = -1 }, "max_batch_parallel"},
+		"malformed grid":   {func(s *Scenario) { s.Grid = "8by64" }, "grid"},
+		"grid procs clash": {func(s *Scenario) { s.Grid = "8x8" }, "grid"},
+		"no micro divides B": {func(s *Scenario) {
+			s.Batch = 100
+			s.Timeline = true
+			s.MicroBatches = []int{3, 7}
+		}, "micro_batches"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := Default()
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error is %T, want *ValidationError", err)
+			}
+			if ve.Field != tc.field {
+				t.Errorf("field = %q, want %q (%v)", ve.Field, tc.field, err)
+			}
+		})
+	}
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default scenario must validate, got %v", err)
+	}
+}
+
+// TestDecodeRejectsUnknownFields: a typo must not silently plan a
+// different scenario.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	_, err := Decode([]byte(`{"network":"alexnet","batch":2048,"procs":512,"modee":"auto"}`))
+	var ve *ValidationError
+	if !errors.As(err, &ve) || ve.Field != "json" {
+		t.Fatalf("expected a json ValidationError, got %v", err)
+	}
+	if _, err := Decode([]byte(`{broken`)); err == nil {
+		t.Fatal("expected a decode error")
+	}
+}
+
+// TestResolve checks the lowering: defaults, machine overrides, the
+// topology-derived flat machine view, and the pinned grid.
+func TestResolve(t *testing.T) {
+	r, err := Default().Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Net.Name != "AlexNet" || r.Batch != 2048 || r.Procs != 512 || r.Grid != nil {
+		t.Fatalf("unexpected resolution: %+v", r)
+	}
+	if r.Options.Machine != machine.CoriKNL() {
+		t.Errorf("default machine should be Cori-KNL, got %+v", r.Options.Machine)
+	}
+	if r.Options.Compute != DefaultCompute() {
+		t.Errorf("default compute model drifted: %+v", r.Options.Compute)
+	}
+
+	s := Default()
+	s.Machine = &MachineSpec{AlphaSeconds: 1e-6, BandwidthGBs: 12, PeakTFlops: 6}
+	r2, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r2.Options.Machine
+	if m.Alpha != 1e-6 || m.BandwidthBytes() != 12e9 || m.PeakFlops != 6e12 {
+		t.Errorf("machine overrides not applied: %+v", m)
+	}
+	if r2.Options.Compute.Peak != 6e12 {
+		t.Errorf("compute peak should follow the machine override, got %g", r2.Options.Compute.Peak)
+	}
+
+	st := Default()
+	st.Procs = 1024
+	st.Topology = &TopologySpec{Nodes: 64, RanksPerNode: 16}
+	r3, err := st.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Options.Topology.IsZero() || r3.Options.Topology.RanksPerNode != 16 {
+		t.Fatalf("topology not resolved: %+v", r3.Options.Topology)
+	}
+	if want := r3.Options.Topology.Machine(); r3.Options.Machine != want {
+		t.Errorf("flat machine view should derive from the topology: %+v vs %+v", r3.Options.Machine, want)
+	}
+	if r3.Options.Topology.Intra != machine.CoriKNLNodes(16).Intra {
+		t.Errorf("intra link should default to the Cori two-level setting")
+	}
+
+	sg := Default()
+	sg.Grid = "8x64"
+	r4, err := sg.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Grid == nil || (*r4.Grid != grid.Grid{Pr: 8, Pc: 64}) {
+		t.Fatalf("pinned grid not resolved: %v", r4.Grid)
+	}
+}

@@ -1,0 +1,241 @@
+// Package serve implements the dnnserve HTTP planning service: the
+// public dnnparallel façade behind three endpoints —
+//
+//	POST /v1/plan      body: Scenario JSON → PlanResult JSON
+//	POST /v1/simulate  body: Scenario JSON → SimResult JSON
+//	GET  /healthz      liveness + cache statistics
+//
+// Requests are validated eagerly by the façade: a malformed scenario
+// maps to 400 with a structured error body (never a crash — the façade
+// recovers nothing because nothing can panic past its validation), an
+// infeasible one to 422. Plan responses are cached in an LRU keyed on
+// the canonicalized scenario, so two clients asking the same question
+// differently spelled share one planner run; the handler is safe for
+// concurrent use (exercised under -race in serve_test.go).
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"dnnparallel"
+)
+
+// DefaultCacheSize bounds the plan cache when Config.CacheSize is 0.
+const DefaultCacheSize = 128
+
+// Config configures a Server.
+type Config struct {
+	// CacheSize is the maximum number of cached plan/simulate responses
+	// (0 = DefaultCacheSize, < 0 = caching disabled).
+	CacheSize int
+}
+
+// Server is the planning service. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cache *lru
+	mux   *http.ServeMux
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	s := &Server{}
+	if size > 0 {
+		s.cache = newLRU(size)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handle(func(sc dnnparallel.Scenario) (any, error) {
+		return dnnparallel.Plan(sc)
+	}))
+	mux.HandleFunc("/v1/simulate", s.handle(func(sc dnnparallel.Scenario) (any, error) {
+		return dnnparallel.Simulate(sc)
+	}))
+	mux.HandleFunc("/healthz", s.healthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats reports the cache counters since start.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Server) Stats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection is the only failure mode left
+}
+
+// writeError maps a façade error onto a status code and envelope:
+// *ValidationError → 400 (bad request), *InfeasibleError → 422 (valid
+// spec, empty feasible set), anything else → 500.
+func writeError(w http.ResponseWriter, err error) {
+	var ve *dnnparallel.ValidationError
+	if errors.As(err, &ve) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Field: ve.Field})
+		return
+	}
+	var ie *dnnparallel.InfeasibleError
+	if errors.As(err, &ie) {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+}
+
+// handle wraps one façade call with decoding, canonicalization, and the
+// response cache. The cache stores marshaled response bytes: immutable,
+// so concurrent hits never share mutable state.
+func (s *Server) handle(f func(dnnparallel.Scenario) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST a scenario JSON body"})
+			return
+		}
+		// A scenario spec is a few hundred bytes; cap the body so a
+		// hostile client cannot balloon the server.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading request body: %v", err), Field: "json"})
+			return
+		}
+		sc, err := dnnparallel.DecodeScenario(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		// Canonical both validates and produces the cache key; the path
+		// disambiguates plan from simulate answers for the same spec.
+		canon, err := sc.Canonical()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		key := r.URL.Path + "\x00" + string(canon)
+		if s.cache != nil {
+			if cached, ok := s.cache.get(key); ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Cache", "hit")
+				w.WriteHeader(http.StatusOK)
+				_, _ = w.Write(cached)
+				return
+			}
+		}
+		res, err := f(sc)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		data = append(data, '\n')
+		if s.cache != nil {
+			s.cache.put(key, data)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	}
+}
+
+// healthz reports liveness and the cache counters.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string     `json:"status"`
+		Cache  CacheStats `json:"cache"`
+	}{Status: "ok", Cache: s.Stats()})
+}
+
+// lru is a fixed-capacity, mutex-guarded LRU of marshaled responses.
+type lru struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry).data, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *lru) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).data = data
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnparallel"
+)
+
+// nowNanos is a monotonic-enough clock for the coarse speedup assertion.
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t testing.TB, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func scenarioJSON(t testing.TB, sc dnnparallel.Scenario) []byte {
+	t.Helper()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPlanEndpoint: a valid scenario answers 200 with the same best plan
+// the façade computes directly, and a repeat of the same question —
+// differently spelled — is served from the cache byte-identically.
+func TestPlanEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	sc := dnnparallel.New("alexnet", 2048, 512)
+	want, err := dnnparallel.Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/plan", scenarioJSON(t, sc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", got)
+	}
+	var res dnnparallel.PlanResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if res.Best.Grid != want.Best.Grid || res.SpeedupTotal != want.SpeedupTotal {
+		t.Fatalf("served plan %s/%g differs from façade %s/%g",
+			res.Best.Grid, res.SpeedupTotal, want.Best.Grid, want.SpeedupTotal)
+	}
+
+	// Same question, different spelling: canonicalization must hit.
+	alt := sc
+	alt.Network = "ALEXNET"
+	resp2, body2 := post(t, ts.URL+"/v1/plan", scenarioJSON(t, alt))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("respelled request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cache hit served different bytes")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+// TestSimulateEndpoint mirrors the plan test for /v1/simulate, including
+// the plan-vs-simulate cache-key separation for an identical spec.
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sc := dnnparallel.New("alexnet", 2048, 512, dnnparallel.WithGrid(8, 64))
+	body := scenarioJSON(t, sc)
+
+	resp, data := post(t, ts.URL+"/v1/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res dnnparallel.SimResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	want, err := dnnparallel.Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != want.Makespan || len(res.PerLayer) != len(want.PerLayer) {
+		t.Fatalf("served sim %+v differs from façade %+v", res, want)
+	}
+
+	// The same canonical scenario on the other endpoint must not collide.
+	respPlan, dataPlan := post(t, ts.URL+"/v1/plan", body)
+	if respPlan.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", respPlan.StatusCode, dataPlan)
+	}
+	if respPlan.Header.Get("X-Cache") != "miss" {
+		t.Error("plan answer was served from the simulate cache entry")
+	}
+}
+
+// TestErrorMapping: malformed → 400 with the offending field, infeasible
+// → 422, wrong method → 405 — and the server survives all of them (the
+// regression for "a malformed HTTP request can never crash dnnserve").
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		field  string
+	}{
+		{"broken json", `{broken`, http.StatusBadRequest, "json"},
+		{"unknown field", `{"network":"alexnet","batch":2048,"procs":512,"modee":1}`, http.StatusBadRequest, "json"},
+		{"unknown network", `{"network":"lenet","batch":2048,"procs":512,"mode":"auto"}`, http.StatusBadRequest, "network"},
+		{"zero batch", `{"network":"alexnet","batch":0,"procs":512,"mode":"auto"}`, http.StatusBadRequest, "batch"},
+		{"bad mode", `{"network":"alexnet","batch":2048,"procs":512,"mode":"fancy"}`, http.StatusBadRequest, "json"},
+		{"infeasible", `{"network":"alexnet","batch":256,"procs":512,"mode":"conv-batch"}`, http.StatusUnprocessableEntity, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+"/v1/plan", []byte(tc.body))
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			var eb struct {
+				Error string `json:"error"`
+				Field string `json:"field"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if eb.Error == "" {
+				t.Error("error body is empty")
+			}
+			if tc.field != "" && eb.Field != tc.field {
+				t.Errorf("field = %q, want %q", eb.Field, tc.field)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/plan: status %d, want 405", resp.StatusCode)
+	}
+
+	// The server is still alive after every bad request.
+	resp2, body2 := post(t, ts.URL+"/v1/plan", scenarioJSON(t, dnnparallel.DefaultScenario()))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("server unhealthy after bad requests: %d %s", resp2.StatusCode, body2)
+	}
+}
+
+// TestHealthz checks liveness and that the cache counters flow through.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/plan", scenarioJSON(t, dnnparallel.DefaultScenario()))
+	post(t, ts.URL+"/v1/plan", scenarioJSON(t, dnnparallel.DefaultScenario()))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string     `json:"status"`
+		Cache  CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Cache.Hits != 1 || h.Cache.Misses != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+// TestConcurrentClients hammers /v1/plan and /v1/simulate from many
+// goroutines over a mix of scenarios — the acceptance criterion's
+// `go test -race` concurrent-client load. Every response must decode to
+// the correct best grid for its scenario.
+func TestConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: 4})
+	type q struct {
+		body []byte
+		want string // expected best grid
+	}
+	var qs []q
+	for _, batch := range []int{2048, 1024, 512} {
+		sc := dnnparallel.New("alexnet", batch, 512)
+		res, err := dnnparallel.Plan(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q{scenarioJSON(t, sc), res.Best.Grid})
+	}
+	simBody := scenarioJSON(t, dnnparallel.New("alexnet", 2048, 512, dnnparallel.WithGrid(8, 64)))
+
+	const workers = 8
+	const perWorker = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if (w+i)%4 == 3 {
+					resp, body := post(t, ts.URL+"/v1/simulate", simBody)
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("simulate status %d: %s", resp.StatusCode, body)
+					}
+					continue
+				}
+				query := qs[(w+i)%len(qs)]
+				resp, body := post(t, ts.URL+"/v1/plan", query.body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("plan status %d: %s", resp.StatusCode, body)
+					continue
+				}
+				var res dnnparallel.PlanResult
+				if err := json.Unmarshal(body, &res); err != nil {
+					errs <- err
+					continue
+				}
+				if res.Best.Grid != query.want {
+					errs <- fmt.Errorf("got best grid %s, want %s", res.Best.Grid, query.want)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLRUEviction: the cache respects its capacity and evicts the least
+// recently used entry.
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("C")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if st := c.stats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestCacheDisabled: a negative capacity turns caching off entirely.
+func TestCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: -1})
+	body := scenarioJSON(t, dnnparallel.DefaultScenario())
+	for i := 0; i < 2; i++ {
+		resp, data := post(t, ts.URL+"/v1/plan", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		if got := resp.Header.Get("X-Cache"); got != "miss" {
+			t.Errorf("request %d X-Cache = %q, want miss", i, got)
+		}
+	}
+	if st := s.Stats(); st != (CacheStats{}) {
+		t.Errorf("disabled cache reports stats %+v", st)
+	}
+}
+
+// BenchmarkServePlanCacheHit measures the steady-state throughput of a
+// cached /v1/plan answer — the per-request cost of the service once the
+// question has been seen.
+func BenchmarkServePlanCacheHit(b *testing.B) {
+	s := New(Config{})
+	body := scenarioJSON(b, dnnparallel.DefaultScenario())
+	h := s.Handler()
+	warm := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+	h.ServeHTTP(httptest.NewRecorder(), warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats()
+	if st.Hits < int64(b.N) {
+		b.Fatalf("expected ≥ %d cache hits, got %d", b.N, st.Hits)
+	}
+}
+
+// BenchmarkServePlanCacheMiss measures the same request when every
+// question is new (distinct dataset size → distinct canonical key):
+// the full planner search per request. The hit/miss ratio of these two
+// benchmarks is the measured cache speedup.
+func BenchmarkServePlanCacheMiss(b *testing.B) {
+	s := New(Config{CacheSize: 4}) // far smaller than b.N: every request misses
+	h := s.Handler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := dnnparallel.DefaultScenario()
+		sc.DatasetN = 1_000_000 + i + 1
+		body := scenarioJSON(b, sc)
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Cache"); got != "miss" {
+			b.Fatalf("X-Cache = %q, want miss", got)
+		}
+	}
+}
+
+// TestCacheSpeedup is the measured-cache-speedup acceptance check in
+// test form: a cache hit must be at least an order of magnitude cheaper
+// than the planner run it memoizes. Benchmarked precisely by the two
+// benchmarks above; the test asserts only a conservative bound so it
+// stays robust on noisy CI machines.
+func TestCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	s := New(Config{})
+	h := s.Handler()
+	body := scenarioJSON(t, dnnparallel.DefaultScenario())
+	serveOnce := func(payload []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/plan", bytes.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	const rounds = 20
+	missStart := nowNanos()
+	for i := 0; i < rounds; i++ {
+		sc := dnnparallel.DefaultScenario()
+		sc.DatasetN = 2_000_000 + i
+		serveOnce(scenarioJSON(t, sc))
+	}
+	missNanos := nowNanos() - missStart
+
+	serveOnce(body) // warm
+	hitStart := nowNanos()
+	for i := 0; i < rounds; i++ {
+		serveOnce(body)
+	}
+	hitNanos := nowNanos() - hitStart
+
+	if hitNanos*2 >= missNanos {
+		t.Errorf("cache hit not measurably faster: %d hits took %dns vs %d misses %dns",
+			rounds, hitNanos, rounds, missNanos)
+	}
+	t.Logf("measured cache speedup: %.1fx (%d misses %dns, %d hits %dns)",
+		float64(missNanos)/float64(hitNanos), rounds, missNanos, rounds, hitNanos)
+}

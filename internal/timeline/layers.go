@@ -58,6 +58,28 @@ func ParsePolicy(s string) (Policy, error) {
 	return PolicyNone, fmt.Errorf("timeline: unknown overlap policy %q (want none|backprop|full)", s)
 }
 
+// MarshalText implements encoding.TextMarshaler so a Policy embeds in
+// JSON specs as its canonical string. Out-of-range values error rather
+// than emitting an unparseable "Policy(n)".
+func (p Policy) MarshalText() ([]byte, error) {
+	switch p {
+	case PolicyNone, PolicyBackprop, PolicyFull:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("timeline: cannot marshal invalid policy %d", int(p))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePolicy, so
+// String → Parse round-trips through JSON exactly.
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // LinkCost splits one communication duration across the two link lanes
 // of a hierarchical machine: the intra-node portion runs on
 // NetworkIntra, the inter-node portion on NetworkInter, and within one

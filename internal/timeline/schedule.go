@@ -71,6 +71,28 @@ func ParseSchedule(s string) (Shape, error) {
 	return GPipe, fmt.Errorf("timeline: unknown schedule shape %q (want gpipe|1f1b)", s)
 }
 
+// MarshalText implements encoding.TextMarshaler so a Shape embeds in
+// JSON specs as its canonical string. Out-of-range values error rather
+// than emitting an unparseable "Shape(n)".
+func (s Shape) MarshalText() ([]byte, error) {
+	switch s {
+	case GPipe, OneFOneB:
+		return []byte(s.String()), nil
+	}
+	return nil, fmt.Errorf("timeline: cannot marshal invalid schedule shape %d", int(s))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseSchedule,
+// so String → Parse round-trips through JSON exactly.
+func (s *Shape) UnmarshalText(text []byte) error {
+	v, err := ParseSchedule(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // Schedule describes a multi-micro-batch pipeline over the layer graph.
 type Schedule struct {
 	Shape Shape

@@ -1,0 +1,47 @@
+package dnnparallel
+
+import "testing"
+
+// BenchmarkPlanScenario times the full public façade on the paper's
+// headline scenario: normalize + validate + resolve + the Pr × Pc search.
+// This is the per-request cost a dnnserve cache miss pays, seeding the
+// BENCH trajectory for the planning service.
+func BenchmarkPlanScenario(b *testing.B) {
+	sc := DefaultScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Plan(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Best.IterSeconds, "plan_iter_s")
+		}
+	}
+}
+
+// BenchmarkPlanScenarioPipeline adds the expensive dimensions — timeline
+// scoring and a micro-batch search — the worst realistic /v1/plan miss.
+func BenchmarkPlanScenarioPipeline(b *testing.B) {
+	sc := New("alexnet", 2048, 512,
+		WithTimeline(PolicyBackprop),
+		WithMicroBatches(ScheduleOneFOneB, 1, 2, 4, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioCanonical times the cache-key path alone: the
+// dnnserve per-request fixed cost even on a hit.
+func BenchmarkScenarioCanonical(b *testing.B) {
+	sc := DefaultScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Canonical(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

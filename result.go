@@ -1,0 +1,165 @@
+package dnnparallel
+
+import (
+	"fmt"
+	"sort"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
+)
+
+// LayerStrategy is one row of the best plan's per-layer strategy table.
+type LayerStrategy struct {
+	Layer    string `json:"layer"`
+	Kind     string `json:"kind"`
+	Output   string `json:"output"`
+	Weights  int    `json:"weights"`
+	Strategy string `json:"strategy"`
+}
+
+// PlanSummary is the serializable view of one evaluated configuration —
+// planner.Plan without the internal pointers, safe to hand to an HTTP
+// client.
+type PlanSummary struct {
+	Grid      string         `json:"grid"`
+	Placement grid.Placement `json:"placement"`
+	Mode      planner.Mode   `json:"mode"`
+
+	// MicroBatch is the micro-batch count the plan was priced at (1 =
+	// single-iteration scoring); Schedule and BubbleFraction qualify
+	// pipelined plans.
+	MicroBatch     int            `json:"micro_batch,omitempty"`
+	Schedule       timeline.Shape `json:"schedule"`
+	BubbleFraction float64        `json:"bubble_fraction,omitempty"`
+
+	CommSeconds        float64 `json:"comm_seconds"`
+	CompSeconds        float64 `json:"comp_seconds"`
+	ExposedCommSeconds float64 `json:"exposed_comm_seconds"`
+	IterSeconds        float64 `json:"iter_seconds"`
+	EpochSeconds       float64 `json:"epoch_seconds,omitempty"`
+	MemoryWords        float64 `json:"memory_words,omitempty"`
+
+	Feasible bool   `json:"feasible"`
+	Reason   string `json:"reason,omitempty"`
+
+	// Assignment is the per-layer strategy table, filled for the best
+	// plan only (layer order).
+	Assignment []LayerStrategy `json:"assignment,omitempty"`
+}
+
+// PlanResult is Plan's answer: the best configuration, the whole search
+// space it beat, and the pure-batch baseline the paper quotes speedups
+// against. The JSON form is the dnnserve /v1/plan response body.
+type PlanResult struct {
+	// Scenario echoes the normalized spec the result answers.
+	Scenario Scenario `json:"scenario"`
+	// Machine describes the platform the plans were priced on.
+	Machine string `json:"machine"`
+	// Network is the resolved network's display name.
+	Network string `json:"network"`
+
+	Best PlanSummary `json:"best"`
+	// All lists every evaluated factorization, ordered by increasing Pr.
+	All []PlanSummary `json:"all,omitempty"`
+	// PureBatch is the 1×P baseline when it was evaluated.
+	PureBatch *PlanSummary `json:"pure_batch,omitempty"`
+	// SpeedupTotal/SpeedupComm quote Best against PureBatch (0 when the
+	// baseline is infeasible — the beyond-batch regime).
+	SpeedupTotal float64 `json:"speedup_total,omitempty"`
+	SpeedupComm  float64 `json:"speedup_comm,omitempty"`
+
+	// Raw is the untranslated planner result (nil over the wire): the
+	// bit-for-bit planner.Optimize output, kept for callers that need
+	// the full breakdowns and timelines.
+	Raw *planner.Result `json:"-"`
+}
+
+// LayerTiming is one layer's scheduled time in a simulated iteration.
+type LayerTiming struct {
+	Layer       string  `json:"layer"`
+	CompSeconds float64 `json:"comp_seconds"`
+	CommSeconds float64 `json:"comm_seconds"`
+	// FwdExposed/BwdExposed are the compute-pipe stalls ending at this
+	// layer's forward/backward GEMMs.
+	FwdExposed float64 `json:"fwd_exposed,omitempty"`
+	BwdExposed float64 `json:"bwd_exposed,omitempty"`
+}
+
+// SimResult is Simulate's answer: one pinned configuration priced by the
+// per-layer event-driven timeline. The JSON form is the dnnserve
+// /v1/simulate response body.
+type SimResult struct {
+	Scenario Scenario `json:"scenario"`
+	Machine  string   `json:"machine"`
+	Network  string   `json:"network"`
+
+	// Config summarizes the evaluated configuration.
+	Config PlanSummary `json:"config"`
+
+	Makespan           float64 `json:"makespan_seconds"`
+	ExposedCommSeconds float64 `json:"exposed_comm_seconds"`
+	DrainSeconds       float64 `json:"drain_seconds"`
+	BubbleSeconds      float64 `json:"bubble_seconds"`
+	BubbleFraction     float64 `json:"bubble_fraction"`
+	MicroBatches       int     `json:"micro_batches"`
+	Stages             int     `json:"stages"`
+
+	PerLayer []LayerTiming `json:"per_layer,omitempty"`
+
+	// Raw is the untranslated timeline result (nil over the wire).
+	Raw *timeline.Result `json:"-"`
+}
+
+// InfeasibleError reports a scenario whose search space contains no
+// feasible configuration (or whose pinned grid is infeasible). It is a
+// planning outcome, not a malformed request: dnnserve maps it to 422
+// where a *ValidationError maps to 400.
+type InfeasibleError struct {
+	Scenario string // the canonical grid or B/P description
+	Reason   string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("dnnparallel: no feasible plan for %s: %s", e.Scenario, e.Reason)
+}
+
+// summarize translates one planner.Plan. The assignment table is filled
+// only when net is non-nil (the best plan).
+func summarize(p planner.Plan, net *nn.Network) PlanSummary {
+	s := PlanSummary{
+		Grid:               p.Grid.String(),
+		Placement:          p.Placement,
+		Mode:               p.Mode,
+		MicroBatch:         p.MicroBatch,
+		Schedule:           p.Schedule,
+		BubbleFraction:     p.BubbleFraction,
+		CommSeconds:        p.CommSeconds,
+		CompSeconds:        p.CompSeconds,
+		ExposedCommSeconds: p.ExposedCommSeconds,
+		IterSeconds:        p.IterSeconds,
+		EpochSeconds:       p.EpochSeconds,
+		MemoryWords:        p.MemoryWords,
+		Feasible:           p.Feasible,
+		Reason:             p.Reason,
+	}
+	if net != nil && p.Assignment != nil {
+		lis := make([]int, 0, len(p.Assignment))
+		for li := range p.Assignment {
+			lis = append(lis, li)
+		}
+		sort.Ints(lis)
+		for _, li := range lis {
+			l := &net.Layers[li]
+			s.Assignment = append(s.Assignment, LayerStrategy{
+				Layer:    l.Name,
+				Kind:     l.Kind.String(),
+				Output:   l.Out.String(),
+				Weights:  l.Weights(),
+				Strategy: p.Assignment[li].String(),
+			})
+		}
+	}
+	return s
+}
