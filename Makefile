@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench reruns the benchmarks BENCH_plan.json records (same repetition
+# and duration settings) and writes benchstat-ready output to bench.txt;
+# compare against a saved run with `benchstat old.txt bench.txt`.
+bench:
+	./scripts/bench.sh
+
+verify: build test

@@ -1,25 +1,32 @@
 // Command dnnserve exposes the dnnparallel planner as an HTTP service —
 // the first step toward the roadmap's traffic-serving system:
 //
-//	POST /v1/plan      Scenario JSON → PlanResult JSON
-//	POST /v1/simulate  Scenario JSON → SimResult JSON
-//	GET  /healthz      liveness + plan-cache statistics
+//	POST /v1/plan               Scenario JSON → PlanResult JSON
+//	POST /v1/simulate[?trace=1] Scenario JSON → SimResult JSON
+//	                            (?trace=1: Chrome trace-event JSON)
+//	GET  /healthz               liveness + plan-cache statistics
+//	GET  /metrics               Prometheus text exposition
 //
 // Responses are cached in an LRU keyed on the canonicalized scenario, so
-// repeated questions are answered without re-running the search.
+// repeated questions are answered without re-running the search. Every
+// request is counted and timed in /metrics and logged as one structured
+// line (request ID, scenario hash, status, duration, cache outcome).
 //
 // Usage:
 //
 //	dnnserve -addr :8080 -cache 256
 //	curl -s localhost:8080/v1/plan -d @examples/scenarios/alexnet-p512.json
-//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//	dnnserve -pprof   # also serve net/http/pprof under /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -29,15 +36,35 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "plan-cache capacity in entries (negative disables caching)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
+	logJSON := flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{CacheSize: *cacheSize})
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	srv := serve.New(serve.Config{CacheSize: *cacheSize, Logger: logger})
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		// The stdlib registers these on http.DefaultServeMux as an
+		// import side effect; mount them explicitly instead so the
+		// profiling surface exists only when asked for.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("dnnserve listening on %s (plan cache: %d entries)\n", *addr, *cacheSize)
+	fmt.Printf("dnnserve listening on %s (plan cache: %d entries, pprof: %v)\n", *addr, *cacheSize, *pprofOn)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.SetFlags(0)
 		log.Println("dnnserve:", err)

@@ -48,6 +48,8 @@ type (
 
 	// Mode selects how convolutional layers are treated in the search.
 	Mode = planner.Mode
+	// SearchStats is the planner's search telemetry (PlanResult.Stats).
+	SearchStats = planner.SearchStats
 	// Policy selects the timeline overlap policy.
 	Policy = timeline.Policy
 	// Shape selects the pipeline schedule shape.
@@ -233,6 +235,8 @@ func Plan(s Scenario) (*PlanResult, error) {
 		}
 	}
 	fillPlanResult(out, &res, r)
+	stats := res.Stats
+	out.Stats = &stats
 	return out, nil
 }
 

@@ -81,6 +81,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	microList := fs.String("micro", "", "comma-separated micro-batch counts to search per grid (entries > 1 enable timeline scoring)")
 	scheduleName := fs.String("schedule", "", "pipeline schedule shape for -micro: gpipe|1f1b (default gpipe)")
 	gantt := fs.Bool("gantt", false, "print the best plan's per-layer schedule (needs timeline scoring)")
+	stats := fs.Bool("stats", false, "print the planner's search telemetry (candidates enumerated/pruned/priced, best-cost trajectory, phase wall times)")
 	gridName := fs.String("grid", "", "pin one PrxPc factorization instead of searching (e.g. 8x64)")
 	alpha := fs.Float64("alpha", 0, "network latency α in seconds (default 2e-6; the inter-node link on a two-level topology)")
 	bwGB := fs.Float64("bw", 0, "network bandwidth 1/β in GB/s (default 6; the inter-node link on a two-level topology)")
@@ -180,6 +181,13 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 		return exitCode(err)
 	}
 	fmt.Fprint(stdout, RenderPlan(res, *gantt))
+	if *stats {
+		if res.Stats == nil {
+			fmt.Fprintln(stderr, "dnnplan: no search telemetry (a pinned grid evaluates exactly one configuration; drop -grid to search)")
+		} else {
+			fmt.Fprintf(stdout, "\nSearch telemetry:\n%s", res.Stats)
+		}
+	}
 	return 0
 }
 

@@ -4,12 +4,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
+	"dnnparallel"
 	"dnnparallel/internal/compute"
 	"dnnparallel/internal/experiments"
 	"dnnparallel/internal/machine"
 	"dnnparallel/internal/planner"
+	"dnnparallel/internal/report"
 	"dnnparallel/internal/timeline"
 )
 
@@ -30,6 +33,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	policy := fs.String("policy", "backprop", "overlap policy for -exp timeline/pipeline: none|backprop|full")
 	micro := fs.String("micro", "1,2,4,8,16,32", "comma-separated micro-batch counts for -exp pipeline")
 	schedule := fs.String("schedule", "gpipe", "pipeline schedule shape for -exp pipeline: gpipe|1f1b")
+	trace := fs.String("trace", "", "write the scenario's simulated schedule as Chrome trace-event JSON to this file (needs a pinned grid; open in https://ui.perfetto.dev) and exit")
 	calibrate := fs.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
 	ppn := fs.Int("ppn", 0, "ranks per node; > 0 prices the planner-backed experiments against the two-level Cori topology")
 	nodes := fs.Int("nodes", 0, "node count (with -ppn, defaults the process counts to nodes × ppn)")
@@ -100,6 +104,32 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		sc.MicroBatches = ms
 	}
 	sc = sc.Normalize()
+	if *trace != "" {
+		// Trace export is a different product: simulate the pinned
+		// configuration once and write its schedule as Chrome
+		// trace-event JSON instead of running experiments.
+		res, err := dnnparallel.Simulate(sc)
+		if err != nil {
+			fmt.Fprintln(stderr, "dnnsim:", err)
+			return 2
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "dnnsim:", err)
+			return 1
+		}
+		werr := report.WriteChromeTrace(f, res.Raw)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "dnnsim:", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote Chrome trace for %s grid %s (%d spans, makespan %ss) to %s — open in https://ui.perfetto.dev\n",
+			res.Network, res.Config.Grid, len(res.Raw.Spans), report.F(res.Makespan), *trace)
+		return 0
+	}
 	// The experiments sweep P themselves (and ignore any pinned grid);
 	// validate the spec with a stand-in process count when the scenario
 	// leaves it open.

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"dnnparallel/internal/compute"
 	"dnnparallel/internal/costmodel"
@@ -346,15 +347,21 @@ func autoAssignment(net *nn.Network, B int, g grid.Grid, env costmodel.Env) cost
 // earlier placement, so flat machines deterministically report
 // row-major).
 func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
+	return evaluate(net, B, g, opts, nil)
+}
+
+// evaluate is Evaluate with an optional telemetry collector (st may be
+// nil; Optimize passes its Result.Stats).
+func evaluate(net *nn.Network, B int, g grid.Grid, opts Options, st *SearchStats) Plan {
 	pls := opts.placements()
-	best := EvaluateAt(net, B, g, pls[0], opts)
+	best := evaluateAt(net, B, g, pls[0], opts, st)
 	if g.Pr == 1 || g.Pc == 1 {
 		// Degenerate grids have identical rank mappings under every
 		// placement; pricing the others would duplicate the first plan.
 		return best
 	}
 	for _, pl := range pls[1:] {
-		if p := EvaluateAt(net, B, g, pl, opts); p.Feasible &&
+		if p := evaluateAt(net, B, g, pl, opts, st); p.Feasible &&
 			(!best.Feasible || p.IterSeconds < best.IterSeconds) {
 			best = p
 		}
@@ -367,10 +374,14 @@ func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 // candidate's plan. Ties keep the smaller M, so the legacy M = 1 scoring
 // wins unless pipelining strictly helps.
 func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options) Plan {
+	return evaluateAt(net, B, g, pl, opts, nil)
+}
+
+func evaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, st *SearchStats) Plan {
 	micros := opts.microBatches()
-	best := evaluateMicroAt(net, B, g, pl, opts, micros[0])
+	best := evaluateMicroAt(net, B, g, pl, opts, micros[0], st)
 	for _, m := range micros[1:] {
-		if p := evaluateMicroAt(net, B, g, pl, opts, m); p.Feasible &&
+		if p := evaluateMicroAt(net, B, g, pl, opts, m, st); p.Feasible &&
 			(!best.Feasible || p.IterSeconds < best.IterSeconds ||
 				(p.IterSeconds == best.IterSeconds && p.MicroBatch < best.MicroBatch)) {
 			best = p
@@ -381,20 +392,35 @@ func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Opt
 
 // evaluateMicroAt prices one (grid, placement, mode, M) configuration:
 // the legacy single-iteration scoring for M = 1, the pipeline schedule
-// for M > 1.
-func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int) Plan {
+// for M > 1. The telemetry collector st (nil outside Optimize) counts
+// the candidate and the pruning/pricing outcome and accumulates the
+// phase wall times.
+func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int, st *SearchStats) Plan {
+	if st != nil {
+		st.Candidates++
+	}
 	if micro != 1 {
-		return evaluatePipelineAt(net, B, g, pl, opts, micro)
+		return evaluatePipelineAt(net, B, g, pl, opts, micro, st)
 	}
 	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
+		if st != nil {
+			st.InfeasiblePruned++
+		}
 		return p
 	}
 	if opts.MaxPc > 0 && g.Pc > opts.MaxPc {
 		p.Reason = fmt.Sprintf("Pc=%d exceeds the batch-parallelism cap %d", g.Pc, opts.MaxPc)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
 		return p
+	}
+	var priceStart time.Time
+	if st != nil {
+		priceStart = time.Now()
 	}
 	env := costmodel.Env{Topo: opts.topology(), Placement: pl}
 	p.Assignment = assignmentFor(net, B, g, opts.Mode, env)
@@ -402,12 +428,24 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 	if opts.MemoryLimitWords > 0 && p.MemoryWords > opts.MemoryLimitWords {
 		p.Reason = fmt.Sprintf("per-process memory %.3g words exceeds limit %.3g",
 			p.MemoryWords, opts.MemoryLimitWords)
+		if st != nil {
+			st.MemoryPruned++
+			st.PriceSeconds += time.Since(priceStart).Seconds()
+		}
 		return p
 	}
 	p.Feasible = true
 	p.Breakdown = env.FullIntegrated(net, B, g, p.Assignment)
 	p.CommSeconds = p.Breakdown.TotalSeconds()
+	if st != nil {
+		st.Priced++
+		st.PriceSeconds += time.Since(priceStart).Seconds()
+	}
 	if opts.UseTimeline {
+		var simStart time.Time
+		if st != nil {
+			simStart = time.Now()
+		}
 		times, overhead := opts.Compute.GridLayerTimes(net, B, g)
 		// The per-layer split plus the residual overhead *is* the grid
 		// compute time (compute.TestGridLayerTimesConservation); deriving
@@ -418,6 +456,10 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 			p.CompSeconds += lt.Fwd + lt.Bwd
 		}
 		res, err := timeline.SimulateLayers(costmodel.TimelineLayers(p.Breakdown, times), opts.TimelinePolicy)
+		if st != nil {
+			st.TimelineSimulated++
+			st.SimulateSeconds += time.Since(simStart).Seconds()
+		}
 		if err != nil {
 			p.Feasible = false
 			p.Reason = fmt.Sprintf("timeline simulation failed: %v", err)
@@ -451,26 +493,45 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 // an M-micro-batch pipeline schedule: communication re-derived at
 // micro-batch size B/M, the memory constraint applied to the
 // activation-stash high-water mark, and the iteration scored by the
-// multi-iteration timeline simulator.
-func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int) Plan {
+// multi-iteration timeline simulator. The caller (evaluateMicroAt) has
+// already counted the candidate in st; the Eq. 3–9 re-pricing at size
+// B/M happens inside PipelineIteration, so its whole duration is
+// accounted to the simulate phase (see SearchStats).
+func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int, st *SearchStats) Plan {
 	sched := opts.schedule(micro)
 	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
+		if st != nil {
+			st.InfeasiblePruned++
+		}
 		return p
 	}
 	if opts.MaxPc > 0 && g.Pc > opts.MaxPc {
 		p.Reason = fmt.Sprintf("Pc=%d exceeds the batch-parallelism cap %d", g.Pc, opts.MaxPc)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
 		return p
 	}
 	if micro < 1 || B%micro != 0 {
 		p.Reason = fmt.Sprintf("micro-batch count %d does not divide B=%d", micro, B)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
 		return p
 	}
 	if B/micro < g.Pc {
 		p.Reason = fmt.Sprintf("micro-batch size %d is thinner than Pc=%d", B/micro, g.Pc)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
 		return p
+	}
+	var priceStart time.Time
+	if st != nil {
+		priceStart = time.Now()
 	}
 	env := costmodel.Env{Topo: opts.topology(), Placement: pl}
 	// The per-layer strategy is chosen at the micro-batch size the
@@ -481,9 +542,23 @@ func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, 
 	if opts.MemoryLimitWords > 0 && p.MemoryWords > opts.MemoryLimitWords {
 		p.Reason = fmt.Sprintf("activation stash: per-process memory %.3g words exceeds limit %.3g",
 			p.MemoryWords, opts.MemoryLimitWords)
+		if st != nil {
+			st.MemoryPruned++
+			st.PriceSeconds += time.Since(priceStart).Seconds()
+		}
 		return p
 	}
+	var simStart time.Time
+	if st != nil {
+		st.Priced++
+		st.PriceSeconds += time.Since(priceStart).Seconds()
+		simStart = time.Now()
+	}
 	pc, err := env.PipelineIteration(net, B, g, p.Assignment, opts.Compute, opts.TimelinePolicy, sched)
+	if st != nil {
+		st.TimelineSimulated++
+		st.SimulateSeconds += time.Since(simStart).Seconds()
+	}
 	if err != nil {
 		p.Reason = fmt.Sprintf("pipeline simulation failed: %v", err)
 		return p
@@ -519,6 +594,10 @@ type Result struct {
 	// PureBatch is the 1 × P baseline when feasible (the reference the
 	// paper's speedup numbers are quoted against).
 	PureBatch *Plan
+	// Stats is the search telemetry: candidate/pruning counts (exact,
+	// deterministic) and the wall-time phase split (varies run to run;
+	// compare results with Stats.ZeroTimes applied).
+	Stats SearchStats
 }
 
 // Speedup returns Best's improvement over the pure-batch baseline in
@@ -563,9 +642,12 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 		}
 	}
 	var res Result
+	st := &res.Stats
+	wallStart := time.Now()
 	best := math.Inf(1)
 	for _, g := range grid.Factorizations(P) {
-		p := Evaluate(net, B, g, opts)
+		st.GridsEnumerated++
+		p := evaluate(net, B, g, opts, st)
 		res.All = append(res.All, p)
 		if g.IsPureBatch() {
 			pb := p
@@ -574,8 +656,18 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 		if p.Feasible && p.IterSeconds < best {
 			best = p.IterSeconds
 			res.Best = p
+			st.Improvements = append(st.Improvements, Improvement{
+				Grid:        p.Grid.String(),
+				Placement:   p.Placement,
+				MicroBatch:  p.MicroBatch,
+				IterSeconds: p.IterSeconds,
+			})
 		}
 	}
+	st.WallSeconds = time.Since(wallStart).Seconds()
+	// Enumeration is everything the measured phases are not: candidate
+	// generation, feasibility checks, loop bookkeeping.
+	st.EnumerateSeconds = math.Max(0, st.WallSeconds-st.PriceSeconds-st.SimulateSeconds)
 	if math.IsInf(best, 1) {
 		return res, fmt.Errorf("planner: no feasible configuration for B=%d P=%d mode=%v", B, P, opts.Mode)
 	}

@@ -1,0 +1,102 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"dnnparallel/internal/grid"
+)
+
+// Improvement is one best-cost improvement event during Optimize: the
+// moment a candidate beat every configuration seen before it. The
+// sequence is deterministic for a given scenario (the search order is
+// fixed), so it is safe to compare results structurally.
+type Improvement struct {
+	Grid        string         `json:"grid"`
+	Placement   grid.Placement `json:"placement"`
+	MicroBatch  int            `json:"micro_batch"`
+	IterSeconds float64        `json:"iter_seconds"`
+}
+
+// SearchStats is the planner's search telemetry, populated by Optimize:
+// how many candidate configurations the brute-force product scan over
+// grids × placements × micro-batches visited, where they were pruned,
+// and where the wall time went. The counts reconcile exactly:
+//
+//	Candidates = Priced + InfeasiblePruned + MemoryPruned
+//
+// (every candidate either fails a structural constraint, fails the
+// memory limit, or gets a full Eq. 3–9 pricing), and the phase split
+// decomposes the wall clock:
+//
+//	WallSeconds = EnumerateSeconds + PriceSeconds + SimulateSeconds
+//
+// where EnumerateSeconds is the residual — candidate generation,
+// feasibility checks, and loop bookkeeping — after the measured pricing
+// and timeline-simulation sections are subtracted. For pipelined
+// candidates (M > 1) the Eq. 3–9 re-pricing at micro-batch size B/M
+// happens inside the simulator call and is accounted to SimulateSeconds.
+type SearchStats struct {
+	// GridsEnumerated is the number of Pr × Pc factorizations of P.
+	GridsEnumerated int `json:"grids_enumerated"`
+	// Candidates is the number of (grid, placement, micro-batch) tuples
+	// examined.
+	Candidates int `json:"candidates"`
+	// InfeasiblePruned counts candidates rejected by a structural
+	// constraint (Pc > B, conv-batch with P > B, domain height, MaxPc,
+	// micro-batch divisibility) before any pricing.
+	InfeasiblePruned int `json:"infeasible_pruned"`
+	// MemoryPruned counts candidates rejected by the per-process memory
+	// limit after their footprint was derived.
+	MemoryPruned int `json:"memory_pruned"`
+	// Priced counts candidates that received a full Eq. 3–9 pricing.
+	Priced int `json:"priced"`
+	// TimelineSimulated counts the discrete-event simulator runs
+	// (single-iteration or pipelined) among the priced candidates.
+	TimelineSimulated int `json:"timeline_simulated"`
+
+	// Improvements is the best-cost trajectory: every candidate that
+	// became the incumbent best, in search order. The last entry is the
+	// returned Result.Best.
+	Improvements []Improvement `json:"improvements,omitempty"`
+
+	// EnumerateSeconds, PriceSeconds, and SimulateSeconds split
+	// WallSeconds (the full Optimize duration) into phases; see the
+	// struct comment for the decomposition.
+	EnumerateSeconds float64 `json:"enumerate_seconds"`
+	PriceSeconds     float64 `json:"price_seconds"`
+	SimulateSeconds  float64 `json:"simulate_seconds"`
+	WallSeconds      float64 `json:"wall_seconds"`
+}
+
+// Reconciles reports whether the candidate counts add up (see the
+// struct comment); a false return is a planner accounting bug.
+func (s SearchStats) Reconciles() bool {
+	return s.Candidates == s.Priced+s.InfeasiblePruned+s.MemoryPruned
+}
+
+// ZeroTimes returns a copy with the wall-clock fields cleared, leaving
+// only the deterministic counts and improvement trajectory — the form
+// two runs of the same scenario can be compared with reflect.DeepEqual.
+func (s SearchStats) ZeroTimes() SearchStats {
+	s.EnumerateSeconds, s.PriceSeconds, s.SimulateSeconds, s.WallSeconds = 0, 0, 0, 0
+	return s
+}
+
+// String renders the telemetry as a short human-readable block (the
+// dnnplan -stats output).
+func (s SearchStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "search: %d grids, %d candidates (%d priced, %d infeasible, %d memory-pruned, %d simulated)\n",
+		s.GridsEnumerated, s.Candidates, s.Priced, s.InfeasiblePruned, s.MemoryPruned, s.TimelineSimulated)
+	fmt.Fprintf(&b, "wall:   %.3gs = enumerate %.3gs + price %.3gs + simulate %.3gs\n",
+		s.WallSeconds, s.EnumerateSeconds, s.PriceSeconds, s.SimulateSeconds)
+	if len(s.Improvements) > 0 {
+		fmt.Fprintf(&b, "best-cost trajectory (%d improvements):\n", len(s.Improvements))
+		for _, im := range s.Improvements {
+			fmt.Fprintf(&b, "  %-8s %-9s M=%-3d iter=%.4gs\n",
+				im.Grid, im.Placement, im.MicroBatch, im.IterSeconds)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package planner
+
+import (
+	"testing"
+
+	"dnnparallel/internal/costmodel"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/timeline"
+)
+
+// TestSearchStatsReconcileAlexNetP512: the acceptance scenario — on the
+// paper's AlexNet B=2048 P=512 search, the telemetry counts must add up
+// exactly: every candidate is either priced or pruned, never both or
+// neither, and the trajectory ends at the returned best.
+func TestSearchStatsReconcileAlexNetP512(t *testing.T) {
+	net := nn.AlexNet()
+	res, err := Optimize(net, 2048, 512, opts(Uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Reconciles() {
+		t.Fatalf("counts do not reconcile: %d candidates ≠ %d priced + %d infeasible + %d memory-pruned",
+			st.Candidates, st.Priced, st.InfeasiblePruned, st.MemoryPruned)
+	}
+	// 512 = 2^9 has 10 divisor grids; uniform mode with a flat machine
+	// prices each exactly once.
+	if st.GridsEnumerated != 10 {
+		t.Errorf("GridsEnumerated = %d, want 10", st.GridsEnumerated)
+	}
+	if st.Candidates != 10 || st.Priced != 10 {
+		t.Errorf("candidates/priced = %d/%d, want 10/10", st.Candidates, st.Priced)
+	}
+	if st.TimelineSimulated != 0 {
+		t.Errorf("TimelineSimulated = %d, want 0 without UseTimeline", st.TimelineSimulated)
+	}
+	if len(st.Improvements) == 0 {
+		t.Fatal("no improvement events recorded")
+	}
+	last := st.Improvements[len(st.Improvements)-1]
+	if last.Grid != res.Best.Grid.String() || last.IterSeconds != res.Best.IterSeconds {
+		t.Errorf("trajectory ends at %s/%g, best is %s/%g",
+			last.Grid, last.IterSeconds, res.Best.Grid, res.Best.IterSeconds)
+	}
+	if st.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %g, want > 0", st.WallSeconds)
+	}
+	if sum := st.EnumerateSeconds + st.PriceSeconds + st.SimulateSeconds; sum > st.WallSeconds*1.0001 {
+		t.Errorf("phase split %g exceeds wall %g", sum, st.WallSeconds)
+	}
+}
+
+// TestSearchStatsMemoryPruning: a memory cap moves candidates from
+// Priced to MemoryPruned, and the sum still reconciles.
+func TestSearchStatsMemoryPruning(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	free, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.MemoryLimitWords = costmodel.Memory(net, 2048, free.All[0].Grid, nil).TotalWords() * 0.5
+	res, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Reconciles() {
+		t.Fatalf("counts do not reconcile under memory pruning: %+v", st)
+	}
+	if st.MemoryPruned == 0 {
+		t.Error("expected memory-pruned candidates under a tight cap")
+	}
+	if st.Priced+st.MemoryPruned != free.Stats.Priced {
+		t.Errorf("pruning should only reclassify: %d priced + %d pruned ≠ %d unconstrained priced",
+			st.Priced, st.MemoryPruned, free.Stats.Priced)
+	}
+}
+
+// TestSearchStatsPipelineSweep: with a micro-batch sweep over the
+// timeline engine, candidates multiply (grids × micro-batch counts) and
+// every priced candidate runs the simulator.
+func TestSearchStatsPipelineSweep(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	o.UseTimeline = true
+	o.TimelinePolicy = timeline.PolicyBackprop
+	o.MicroBatches = []int{1, 2, 4}
+	res, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Reconciles() {
+		t.Fatalf("counts do not reconcile in pipeline sweep: %+v", st)
+	}
+	if want := 10 * 3; st.Candidates != want {
+		t.Errorf("Candidates = %d, want %d (10 grids × 3 micro-batch counts)", st.Candidates, want)
+	}
+	if st.TimelineSimulated != st.Priced {
+		t.Errorf("TimelineSimulated = %d, Priced = %d: every priced candidate should simulate",
+			st.TimelineSimulated, st.Priced)
+	}
+	if st.SimulateSeconds <= 0 {
+		t.Errorf("SimulateSeconds = %g, want > 0 when the simulator ran", st.SimulateSeconds)
+	}
+}
+
+// TestSearchStatsDeterministicCounts: two runs of the same scenario
+// agree on everything except wall-clock times.
+func TestSearchStatsDeterministicCounts(t *testing.T) {
+	net := nn.AlexNet()
+	a, err := Optimize(net, 2048, 256, opts(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(net, 2048, 256, opts(Auto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Stats.ZeroTimes(), b.Stats.ZeroTimes()
+	if sa.Candidates != sb.Candidates || sa.Priced != sb.Priced ||
+		sa.InfeasiblePruned != sb.InfeasiblePruned || len(sa.Improvements) != len(sb.Improvements) {
+		t.Errorf("runs disagree on deterministic counts:\n%+v\n%+v", sa, sb)
+	}
+}

@@ -1,9 +1,12 @@
 // Package serve implements the dnnserve HTTP planning service: the
-// public dnnparallel façade behind three endpoints —
+// public dnnparallel façade behind four endpoints —
 //
-//	POST /v1/plan      body: Scenario JSON → PlanResult JSON
-//	POST /v1/simulate  body: Scenario JSON → SimResult JSON
-//	GET  /healthz      liveness + cache statistics
+//	POST /v1/plan              body: Scenario JSON → PlanResult JSON
+//	POST /v1/simulate[?trace=1] body: Scenario JSON → SimResult JSON
+//	                           (?trace=1: Chrome trace-event JSON of the
+//	                           simulated schedule, loadable in Perfetto)
+//	GET  /healthz              liveness + cache statistics
+//	GET  /metrics              Prometheus text exposition (internal/obs)
 //
 // Requests are validated eagerly by the façade: a malformed scenario
 // maps to 400 with a structured error body (never a crash — the façade
@@ -12,18 +15,34 @@
 // the canonicalized scenario, so two clients asking the same question
 // differently spelled share one planner run; the handler is safe for
 // concurrent use (exercised under -race in serve_test.go).
+//
+// Every request flows through an observability middleware: an in-flight
+// gauge, per-endpoint request counters by status, per-endpoint latency
+// histograms (p50/p99 derivable from the cumulative buckets), and a
+// structured slog line carrying the request ID, the canonical-scenario
+// hash, the duration, and the cache outcome (hit|miss|bypass) — the
+// instrumentation substrate the ROADMAP's scale-out work will report
+// against.
 package serve
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dnnparallel"
+	"dnnparallel/internal/obs"
+	"dnnparallel/internal/report"
 )
 
 // DefaultCacheSize bounds the plan cache when Config.CacheSize is 0.
@@ -34,13 +53,30 @@ type Config struct {
 	// CacheSize is the maximum number of cached plan/simulate responses
 	// (0 = DefaultCacheSize, < 0 = caching disabled).
 	CacheSize int
+	// Logger receives one structured line per request (request ID,
+	// endpoint, status, duration, canonical-scenario hash, cache
+	// outcome). nil disables request logging.
+	Logger *slog.Logger
 }
 
 // Server is the planning service. Create with New; it is safe for
 // concurrent use.
 type Server struct {
-	cache *lru
-	mux   *http.ServeMux
+	cache   *lru
+	handler http.Handler
+	log     *slog.Logger
+
+	metrics  *obs.Registry
+	requests *obs.CounterVec   // dnnserve_requests_total{path,status}
+	latency  *obs.HistogramVec // dnnserve_request_seconds{path}
+	inflight *obs.Gauge        // dnnserve_inflight_requests
+	reqID    atomic.Int64
+
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
+	cacheCapacity  *obs.Gauge
 }
 
 // New builds a Server.
@@ -49,30 +85,159 @@ func New(cfg Config) *Server {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	s := &Server{}
+	s := &Server{log: cfg.Logger}
+
+	reg := obs.NewRegistry()
+	s.metrics = reg
+	s.requests = reg.NewCounterVec("dnnserve_requests_total",
+		"HTTP requests served, by endpoint and status code.", "path", "status")
+	s.latency = reg.NewHistogramVec("dnnserve_request_seconds",
+		"HTTP request latency in seconds, by endpoint.", nil, "path")
+	s.inflight = reg.NewGauge("dnnserve_inflight_requests",
+		"Requests currently being served.")
+	s.cacheHits = reg.NewCounter("dnnserve_cache_hits_total",
+		"Plan-cache lookups answered from the cache.")
+	s.cacheMisses = reg.NewCounter("dnnserve_cache_misses_total",
+		"Plan-cache lookups that ran the planner.")
+	s.cacheEvictions = reg.NewCounter("dnnserve_cache_evictions_total",
+		"Plan-cache entries evicted by the LRU capacity bound.")
+	s.cacheEntries = reg.NewGauge("dnnserve_cache_entries",
+		"Plan-cache entries currently resident.")
+	s.cacheCapacity = reg.NewGauge("dnnserve_cache_capacity",
+		"Plan-cache capacity in entries (0 = caching disabled).")
+
 	if size > 0 {
-		s.cache = newLRU(size)
+		s.cache = newLRU(size, s.cacheHits, s.cacheMisses, s.cacheEvictions, s.cacheEntries)
+		s.cacheCapacity.Set(int64(size))
 	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/plan", s.handle(func(sc dnnparallel.Scenario) (any, error) {
+	mux.HandleFunc("/v1/plan", s.handle(func(r *http.Request, sc dnnparallel.Scenario) (any, error) {
 		return dnnparallel.Plan(sc)
 	}))
-	mux.HandleFunc("/v1/simulate", s.handle(func(sc dnnparallel.Scenario) (any, error) {
-		return dnnparallel.Simulate(sc)
+	mux.HandleFunc("/v1/simulate", s.handle(func(r *http.Request, sc dnnparallel.Scenario) (any, error) {
+		res, err := dnnparallel.Simulate(sc)
+		if err != nil {
+			return nil, err
+		}
+		if !traceRequested(r) {
+			return res, nil
+		}
+		// ?trace=1: the response is the schedule itself as Chrome
+		// trace-event JSON rather than the summary envelope.
+		data, err := report.ChromeTrace(res.Raw)
+		if err != nil {
+			return nil, err
+		}
+		return json.RawMessage(data), nil
 	}))
 	mux.HandleFunc("/healthz", s.healthz)
-	s.mux = mux
+	mux.Handle("/metrics", s.metrics.Handler())
+	s.handler = s.middleware(mux)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler (middleware included).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's metric registry (the /metrics source),
+// so embedding callers can register their own instruments beside the
+// built-in ones.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// traceRequested reports whether the request asked for the Chrome-trace
+// response variant.
+func traceRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "", "0", "false":
+		return false
+	}
+	return true
+}
+
+// metricPath folds a request path onto the known endpoint set, so a
+// hostile client cannot explode the label cardinality of the
+// per-endpoint metric families.
+func metricPath(p string) string {
+	switch p {
+	case "/v1/plan", "/v1/simulate", "/healthz", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// requestInfo is the per-request record the handler fills for the
+// middleware's log line.
+type requestInfo struct {
+	scenarioHash string
+	cacheOutcome string
+}
+
+type requestInfoKey struct{}
+
+// info returns the request's mutable log record (nil outside the
+// middleware, e.g. when a handler is invoked directly in a test).
+func info(r *http.Request) *requestInfo {
+	ri, _ := r.Context().Value(requestInfoKey{}).(*requestInfo)
+	return ri
+}
+
+// statusWriter records the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// middleware wraps the mux with the observability layer: in-flight
+// gauge, request counters by (path, status), latency histograms, and
+// one structured log line per request.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+
+		id := s.reqID.Add(1)
+		ri := &requestInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, ri))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+
+		elapsed := time.Since(start)
+		path := metricPath(r.URL.Path)
+		s.requests.With(path, strconv.Itoa(sw.status)).Inc()
+		s.latency.With(path).Observe(elapsed.Seconds())
+		if s.log != nil {
+			attrs := []slog.Attr{
+				slog.Int64("req_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", elapsed),
+			}
+			if ri.scenarioHash != "" {
+				attrs = append(attrs, slog.String("scenario", ri.scenarioHash))
+			}
+			if ri.cacheOutcome != "" {
+				attrs = append(attrs, slog.String("cache", ri.cacheOutcome))
+			}
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+		}
+	})
+}
 
 // CacheStats reports the cache counters since start.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -114,10 +279,22 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 }
 
+// scenarioHash is the canonical scenario's short FNV-1a digest — the
+// identity a log reader can join across requests and against cache
+// keys without reproducing the full canonical JSON.
+func scenarioHash(canon []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(canon)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // handle wraps one façade call with decoding, canonicalization, and the
 // response cache. The cache stores marshaled response bytes: immutable,
-// so concurrent hits never share mutable state.
-func (s *Server) handle(f func(dnnparallel.Scenario) (any, error)) http.HandlerFunc {
+// so concurrent hits never share mutable state. Responses always carry
+// Content-Type: application/json and an explicit X-Cache header —
+// hit|miss, or bypass when caching is disabled — so clients and tests
+// can assert cache behavior without scraping counters.
+func (s *Server) handle(f func(*http.Request, dnnparallel.Scenario) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
@@ -137,23 +314,38 @@ func (s *Server) handle(f func(dnnparallel.Scenario) (any, error)) http.HandlerF
 			return
 		}
 		// Canonical both validates and produces the cache key; the path
-		// disambiguates plan from simulate answers for the same spec.
+		// (and the trace variant) disambiguates plan from simulate
+		// answers for the same spec.
 		canon, err := sc.Canonical()
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		key := r.URL.Path + "\x00" + string(canon)
-		if s.cache != nil {
-			if cached, ok := s.cache.get(key); ok {
-				w.Header().Set("Content-Type", "application/json")
-				w.Header().Set("X-Cache", "hit")
-				w.WriteHeader(http.StatusOK)
-				_, _ = w.Write(cached)
-				return
-			}
+		if ri := info(r); ri != nil {
+			ri.scenarioHash = scenarioHash(canon)
 		}
-		res, err := f(sc)
+		key := r.URL.Path + "\x00" + string(canon)
+		if traceRequested(r) {
+			key = r.URL.Path + "?trace=1\x00" + string(canon)
+		}
+		outcome := func(o string) {
+			if ri := info(r); ri != nil {
+				ri.cacheOutcome = o
+			}
+			w.Header().Set("X-Cache", o)
+		}
+		if s.cache == nil {
+			outcome("bypass")
+		} else if cached, ok := s.cache.get(key); ok {
+			outcome("hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(cached)
+			return
+		} else {
+			outcome("miss")
+		}
+		res, err := f(r, sc)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -168,7 +360,6 @@ func (s *Server) handle(f func(dnnparallel.Scenario) (any, error)) http.HandlerF
 			s.cache.put(key, data)
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "miss")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(data)
 	}
@@ -188,13 +379,17 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // lru is a fixed-capacity, mutex-guarded LRU of marshaled responses.
+// The hit/miss/eviction counters and the entries gauge live in the
+// server's obs registry — the LRU increments them as the single source
+// of truth, and stats() reads them back for /healthz.
 type lru struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   int64
-	misses int64
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	entries                 *obs.Gauge
 }
 
 type lruEntry struct {
@@ -202,8 +397,11 @@ type lruEntry struct {
 	data []byte
 }
 
-func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+func newLRU(capacity int, hits, misses, evictions *obs.Counter, entries *obs.Gauge) *lru {
+	return &lru{
+		cap: capacity, ll: list.New(), items: make(map[string]*list.Element),
+		hits: hits, misses: misses, evictions: evictions, entries: entries,
+	}
 }
 
 func (c *lru) get(key string) ([]byte, bool) {
@@ -211,10 +409,10 @@ func (c *lru) get(key string) ([]byte, bool) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Inc()
 		return el.Value.(*lruEntry).data, true
 	}
-	c.misses++
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -231,11 +429,19 @@ func (c *lru) put(key string, data []byte) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions.Inc()
 	}
+	c.entries.Set(int64(c.ll.Len()))
 }
 
 func (c *lru) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+	return CacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
 }

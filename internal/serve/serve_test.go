@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dnnparallel"
+	"dnnparallel/internal/obs"
 )
 
 // nowNanos is a monotonic-enough clock for the coarse speedup assertion.
@@ -268,7 +269,7 @@ func TestConcurrentClients(t *testing.T) {
 // TestLRUEviction: the cache respects its capacity and evicts the least
 // recently used entry.
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU(2, &obs.Counter{}, &obs.Counter{}, &obs.Counter{}, &obs.Gauge{})
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
 	if _, ok := c.get("a"); !ok { // a is now most recently used
@@ -287,6 +288,12 @@ func TestLRUEviction(t *testing.T) {
 	if st := c.stats(); st.Entries != 2 {
 		t.Errorf("entries = %d, want 2", st.Entries)
 	}
+	if st := c.stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st := c.stats(); st.Capacity != 2 {
+		t.Errorf("capacity = %d, want 2", st.Capacity)
+	}
 }
 
 // TestCacheDisabled: a negative capacity turns caching off entirely.
@@ -298,8 +305,8 @@ func TestCacheDisabled(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d: %s", resp.StatusCode, data)
 		}
-		if got := resp.Header.Get("X-Cache"); got != "miss" {
-			t.Errorf("request %d X-Cache = %q, want miss", i, got)
+		if got := resp.Header.Get("X-Cache"); got != "bypass" {
+			t.Errorf("request %d X-Cache = %q, want bypass (caching disabled)", i, got)
 		}
 	}
 	if st := s.Stats(); st != (CacheStats{}) {

@@ -70,6 +70,14 @@ type PlanResult struct {
 	SpeedupTotal float64 `json:"speedup_total,omitempty"`
 	SpeedupComm  float64 `json:"speedup_comm,omitempty"`
 
+	// Stats is the planner's search telemetry (candidates enumerated /
+	// pruned / priced / simulated, the best-cost trajectory, and the
+	// enumerate/price/simulate wall-time split). Populated when the
+	// scenario searched (nil for a pinned Grid, which evaluates exactly
+	// one configuration). The counts are deterministic; the times are
+	// not — see planner.SearchStats.ZeroTimes.
+	Stats *SearchStats `json:"search_stats,omitempty"`
+
 	// Raw is the untranslated planner result (nil over the wire): the
 	// bit-for-bit planner.Optimize output, kept for callers that need
 	// the full breakdowns and timelines.

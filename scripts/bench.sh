@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Rerun the benchmark trajectory recorded in BENCH_plan.json: the
+# planner-facing benchmarks (full search, pipeline search, scenario
+# canonicalization) with 6 repetitions of 2s each — enough samples for
+# benchstat to attach confidence intervals — plus the dnnserve cache
+# benchmarks. Output is standard `go test -bench` text: save it and
+# compare runs with `benchstat old.txt new.txt`.
+#
+# Usage: scripts/bench.sh [output-file]   (default: bench.txt)
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-bench.txt}"
+go test -run '^$' -bench 'BenchmarkPlanScenario|BenchmarkPlanScenarioPipeline|BenchmarkScenarioCanonical' \
+	-benchmem -count=6 -benchtime=2s . | tee "$out"
+go test -run '^$' -bench 'BenchmarkServePlan' -benchmem -count=3 ./internal/serve/ | tee -a "$out"
+echo "wrote $out"

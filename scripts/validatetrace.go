@@ -1,0 +1,60 @@
+//go:build ignore
+
+// validatetrace is the CI smoke check for Chrome trace-event exports:
+// it verifies a file is valid JSON (json.Valid), carries a non-empty
+// traceEvents array, and that every complete ("X") event has a
+// non-negative timestamp and duration — the minimum Perfetto needs to
+// load it.
+//
+// Usage: go run scripts/validatetrace.go trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/validatetrace.go <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err.Error())
+	}
+	if !json.Valid(data) {
+		fatal(os.Args[1] + ": not valid JSON")
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fatal(os.Args[1] + ": not a trace-event file: " + err.Error())
+	}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Ts < 0 || ev.Dur < 0 {
+			fatal(fmt.Sprintf("%s: event %q has negative ts/dur (%g/%g)", os.Args[1], ev.Name, ev.Ts, ev.Dur))
+		}
+	}
+	if spans == 0 {
+		fatal(os.Args[1] + ": no complete (ph=X) events")
+	}
+	fmt.Printf("%s: ok (%d events, %d spans)\n", os.Args[1], len(tf.TraceEvents), spans)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "validatetrace:", msg)
+	os.Exit(1)
+}
