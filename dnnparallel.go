@@ -1,7 +1,7 @@
 // Package dnnparallel is the public face of the integrated model, batch,
 // and domain parallelism planner (Gholami et al., SPAA 2018): given a
-// declarative Scenario — network, machine or two-level topology, global
-// batch, and the parallelism search space (per-layer strategy modes,
+// declarative Scenario — network, machine or hierarchical topology (any
+// number of link levels), global batch, and the parallelism search space (per-layer strategy modes,
 // rank placements, overlap policy, micro-batch pipeline candidates,
 // schedule shape, memory limit) — Plan searches every Pr × Pc
 // factorization for the configuration with the lowest predicted
@@ -39,9 +39,13 @@ type (
 	Scenario = scenario.Scenario
 	// MachineSpec overrides the flat α–β platform.
 	MachineSpec = scenario.MachineSpec
-	// TopologySpec selects the two-level intra-/inter-node platform.
+	// TopologySpec selects the hierarchical platform: either the
+	// two-level nodes/ranks-per-node sugar or an explicit Levels list.
 	TopologySpec = scenario.TopologySpec
-	// LinkSpec overrides one α–β link level of a TopologySpec.
+	// LevelSpec describes one link level of a hierarchical TopologySpec
+	// (innermost first: name, α, bandwidth, ranks per group).
+	LevelSpec = scenario.LevelSpec
+	// LinkSpec overrides one α–β link level of the two-level sugar.
 	LinkSpec = scenario.LinkSpec
 	// ValidationError is returned for every malformed scenario.
 	ValidationError = scenario.ValidationError
@@ -126,9 +130,20 @@ func WithTopology(nodes, ranksPerNode int) Option {
 	}
 }
 
-// WithTopologySpec installs a fully specified two-level topology.
+// WithTopologySpec installs a fully specified topology (the two-level
+// sugar or an explicit Levels list).
 func WithTopologySpec(t TopologySpec) Option {
 	return func(s *Scenario) { s.Topology = &t; s.Machine = nil }
+}
+
+// WithLevels installs an N-level hierarchical topology, innermost level
+// first; the outermost level's group size may be 0 (unbounded — implied
+// by Procs). Mutually exclusive with WithMachine and WithTopology.
+func WithLevels(levels ...LevelSpec) Option {
+	return func(s *Scenario) {
+		s.Topology = &TopologySpec{Levels: levels}
+		s.Machine = nil
+	}
 }
 
 // WithPlacements pins the rank-placement search space (default:

@@ -123,6 +123,39 @@ func TestPlanTopologyAndPipelinePaths(t *testing.T) {
 	}
 }
 
+// TestPlanLevelsFlag: -levels prices against an N-level topology end to
+// end — the machine line names the hierarchy, the plan table grows the
+// placement column, and the per-level attribution table names every
+// level of the flag.
+func TestPlanLevelsFlag(t *testing.T) {
+	out, errOut, code := runPlan(t,
+		"-levels", "node:5e-7:60:16,rack:1e-6:12:128,spine:2e-6:6")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "place") {
+		t.Fatalf("-levels output missing the placement column:\n%s", out)
+	}
+	if !strings.Contains(out, "Per-level communication") {
+		t.Fatalf("-levels output missing the per-level attribution table:\n%s", out)
+	}
+	for _, level := range []string{"node", "rack", "spine"} {
+		if !strings.Contains(out, level) {
+			t.Fatalf("per-level table missing level %q:\n%s", level, out)
+		}
+	}
+	// The per-level lanes reach the gantt legend too.
+	out, errOut, code = runPlan(t,
+		"-levels", "node:5e-7:60:16,rack:1e-6:12:128,spine:2e-6:6",
+		"-policy", "backprop", "-gantt")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "net-node") {
+		t.Fatalf("gantt legend does not name the per-level lanes:\n%s", out)
+	}
+}
+
 // TestPlanErrors: malformed inputs exit 2 (validation class), empty
 // feasible sets exit 1, and the messages land on stderr.
 func TestPlanErrors(t *testing.T) {
@@ -139,6 +172,10 @@ func TestPlanErrors(t *testing.T) {
 		{"nodes without ppn", []string{"-nodes", "4"}, 2},
 		{"intra without ppn", []string{"-intra-bw", "60"}, 2},
 		{"placement without topology", []string{"-placement", "col-major"}, 2},
+		{"levels with sugar flags", []string{"-levels", "node:5e-7:60:16,top:2e-6:6", "-ppn", "16"}, 2},
+		{"levels with bw override", []string{"-levels", "node:5e-7:60:16,top:2e-6:6", "-bw", "8"}, 2},
+		{"malformed levels", []string{"-levels", "node:fast:60"}, 2},
+		{"non-multiple levels", []string{"-levels", "node:5e-7:60:16,rack:1e-6:12:24"}, 2},
 		{"infeasible", []string{"-B", "256", "-mode", "conv-batch"}, 1},
 	}
 	for _, tc := range cases {

@@ -89,6 +89,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	nodes := fs.Int("nodes", 0, "node count (with -ppn, sets P = nodes × ppn)")
 	intraAlpha := fs.Float64("intra-alpha", 0, "intra-node latency α in seconds (default 5e-7; with -ppn)")
 	intraBwGB := fs.Float64("intra-bw", 0, "intra-node bandwidth 1/β in GB/s (default 60; with -ppn)")
+	levels := fs.String("levels", "", "N-level hierarchical topology as name:alpha:bw[:group],… innermost first (e.g. node:5e-7:60:16,rack:1e-6:12:128,spine:2e-6:6); replaces the -nodes/-ppn/-intra-* two-level sugar")
 	placementName := fs.String("placement", "", "pin the rank placement: row-major|col-major (default: search both)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -152,6 +153,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 		ppn: *ppn, nodes: *nodes,
 		alpha: *alpha, bwGB: *bwGB,
 		intraAlpha: *intraAlpha, intraBwGB: *intraBwGB,
+		levels:    *levels,
 		explicitP: set["P"],
 	}); err != nil {
 		fmt.Fprintln(stderr, "dnnplan:", err)
@@ -159,7 +161,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if set["placement"] {
 		if sc.Topology == nil {
-			fmt.Fprintln(stderr, "dnnplan: -placement needs a two-level topology (-ppn; placement cannot matter on a flat machine)")
+			fmt.Fprintln(stderr, "dnnplan: -placement needs a hierarchical topology (-ppn or -levels; placement cannot matter on a flat machine)")
 			return 2
 		}
 		pl, err := grid.ParsePlacement(*placementName)
@@ -196,16 +198,38 @@ type topoFlags struct {
 	ppn, nodes            int
 	alpha, bwGB           float64
 	intraAlpha, intraBwGB float64
+	levels                string
 	explicitP             bool
 }
 
 // applyTopologyFlags maps the machine/topology flags onto the scenario,
-// resolving the flat-vs-two-level split by construction: with -ppn the
-// α/bandwidth overrides address the inter-node link of a TopologySpec
-// (folding any flat machine override from the config file into it);
-// without it they address the flat MachineSpec, and the intra-node flags
-// are rejected because the link they describe does not exist.
+// resolving the flat-vs-hierarchical split by construction: -levels
+// installs an explicit N-level list; with -ppn the α/bandwidth overrides
+// address the inter-node link of a TopologySpec (folding any flat
+// machine override from the config file into it); without either they
+// address the flat MachineSpec, and the intra-node flags are rejected
+// because the link they describe does not exist.
 func applyTopologyFlags(sc *dnnparallel.Scenario, set map[string]bool, f topoFlags) error {
+	if set["levels"] {
+		if set["ppn"] || set["nodes"] || set["intra-alpha"] || set["intra-bw"] {
+			return fmt.Errorf("-levels conflicts with the two-level sugar flags (-nodes/-ppn/-intra-*); spell every level in -levels")
+		}
+		ls, err := ParseLevels(f.levels)
+		if err != nil {
+			return err
+		}
+		topo := &dnnparallel.TopologySpec{Levels: ls}
+		if sc.Topology != nil {
+			topo.PeakTFlops = sc.Topology.PeakTFlops
+		}
+		if sc.Machine != nil {
+			if topo.PeakTFlops == 0 {
+				topo.PeakTFlops = sc.Machine.PeakTFlops
+			}
+			sc.Machine = nil
+		}
+		sc.Topology = topo
+	}
 	if set["nodes"] && !set["ppn"] && sc.Topology == nil {
 		return fmt.Errorf("-nodes needs -ppn (ranks per node)")
 	}
@@ -234,6 +258,9 @@ func applyTopologyFlags(sc *dnnparallel.Scenario, set map[string]bool, f topoFla
 		sc.Topology = topo
 	}
 	if set["alpha"] || set["bw"] {
+		if sc.Topology != nil && len(sc.Topology.Levels) > 0 {
+			return fmt.Errorf("-alpha/-bw address the flat machine or the inter-node link of the two-level sugar; with -levels, spell α and bandwidth inside the level list")
+		}
 		if sc.Topology != nil {
 			link := sc.Topology.Inter
 			if link == nil {
@@ -366,6 +393,24 @@ func RenderPlan(res *dnnparallel.PlanResult, gantt bool) string {
 		})
 	}
 	b.WriteString(report.Table([]string{"Layer", "Kind", "Output", "|W|", "Strategy"}, srows))
+
+	// On a non-uniform topology, show where the communication time goes:
+	// one row per link level, innermost first.
+	if res.Raw != nil {
+		if bd := res.Raw.Best.Breakdown; bd != nil && len(bd.LevelNames) > 0 {
+			total := bd.TotalSeconds()
+			fmt.Fprintf(&b, "\nPer-level communication of the best plan:\n")
+			var lrows [][]string
+			for i, secs := range bd.LevelSeconds() {
+				share := "-"
+				if total > 0 {
+					share = fmt.Sprintf("%.1f%%", 100*secs/total)
+				}
+				lrows = append(lrows, []string{bd.LevelNames[i], report.F(secs), share})
+			}
+			b.WriteString(report.Table([]string{"Level", "comm s/iter", "share"}, lrows))
+		}
+	}
 
 	if gantt && res.Raw != nil && res.Raw.Best.Timeline != nil {
 		tl := res.Raw.Best.Timeline

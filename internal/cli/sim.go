@@ -37,6 +37,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	calibrate := fs.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
 	ppn := fs.Int("ppn", 0, "ranks per node; > 0 prices the planner-backed experiments against the two-level Cori topology")
 	nodes := fs.Int("nodes", 0, "node count (with -ppn, defaults the process counts to nodes × ppn)")
+	levels := fs.String("levels", "", "N-level hierarchical topology as name:alpha:bw[:group],… innermost first (e.g. node:5e-7:60:16,rack:1e-6:12:128,spine:2e-6:6); replaces the -nodes/-ppn sugar")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,7 +59,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	if err := applyTopologyFlags(&sc, set, topoFlags{ppn: *ppn, nodes: *nodes, explicitP: set["P"]}); err != nil {
+	if err := applyTopologyFlags(&sc, set, topoFlags{ppn: *ppn, nodes: *nodes, levels: *levels, explicitP: set["P"]}); err != nil {
 		fmt.Fprintln(stderr, "dnnsim:", err)
 		return 2
 	}

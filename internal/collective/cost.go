@@ -23,37 +23,73 @@ type Cost struct {
 	Latency   float64 // seconds spent in per-message latency (α terms)
 	Bandwidth float64 // seconds spent moving words (β terms)
 
-	// Intra and Inter attribute the total to the two link levels of a
-	// hierarchical machine.Topology. Flat costs (and costs priced on a
-	// uniform topology) leave both zero — the whole total belongs to the
+	// Levels attributes the total to the link levels of a hierarchical
+	// machine.Topology, innermost first (Levels[0] is the intra-node
+	// portion of a two-level node/cluster machine, Levels[1] its
+	// inter-node portion). Flat costs (and costs priced on a uniform
+	// topology) leave every entry zero — the whole total belongs to the
 	// machine's single link; topology-aware costs satisfy
-	// Intra + Inter = Total() (up to rounding), and the timeline
-	// simulator schedules each portion on its own link resource.
-	Intra float64
-	Inter float64
+	// ΣLevels = Total() (up to rounding), and the timeline simulator
+	// schedules each portion on its own link resource. A fixed-size
+	// array (bounded by machine.MaxLevels) keeps Cost comparable and
+	// allocation-free.
+	Levels [machine.MaxLevels]float64
 }
 
 // Total returns latency + bandwidth seconds.
 func (c Cost) Total() float64 { return c.Latency + c.Bandwidth }
 
-// Leveled reports whether the cost carries an intra-/inter-node
-// attribution (i.e. was priced against a non-uniform topology).
-func (c Cost) Leveled() bool { return c.Intra != 0 || c.Inter != 0 }
+// Level returns the seconds attributed to link level i.
+func (c Cost) Level(i int) float64 { return c.Levels[i] }
+
+// LevelSum returns the seconds attributed across all link levels —
+// Total() for leveled costs, 0 for flat ones.
+func (c Cost) LevelSum() float64 {
+	var sum float64
+	for _, v := range c.Levels {
+		sum += v
+	}
+	return sum
+}
+
+// Leveled reports whether the cost carries a per-level attribution
+// (i.e. was priced against a non-uniform topology).
+func (c Cost) Leveled() bool {
+	for _, v := range c.Levels {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // Add returns the element-wise sum of two costs.
 func (c Cost) Add(d Cost) Cost {
-	return Cost{
-		Latency: c.Latency + d.Latency, Bandwidth: c.Bandwidth + d.Bandwidth,
-		Intra: c.Intra + d.Intra, Inter: c.Inter + d.Inter,
+	out := Cost{Latency: c.Latency + d.Latency, Bandwidth: c.Bandwidth + d.Bandwidth}
+	for i := range out.Levels {
+		out.Levels[i] = c.Levels[i] + d.Levels[i]
+	}
+	return out
+}
+
+// Accumulate adds d into c in place — the loop-accumulator form of Add,
+// which spares the planner's per-candidate summations a 64-byte struct
+// copy per term.
+func (c *Cost) Accumulate(d *Cost) {
+	c.Latency += d.Latency
+	c.Bandwidth += d.Bandwidth
+	for i := range c.Levels {
+		c.Levels[i] += d.Levels[i]
 	}
 }
 
 // Scale returns the cost multiplied by s (e.g. iterations per epoch).
 func (c Cost) Scale(s float64) Cost {
-	return Cost{
-		Latency: c.Latency * s, Bandwidth: c.Bandwidth * s,
-		Intra: c.Intra * s, Inter: c.Inter * s,
+	out := Cost{Latency: c.Latency * s, Bandwidth: c.Bandwidth * s}
+	for i := range out.Levels {
+		out.Levels[i] = c.Levels[i] * s
 	}
+	return out
 }
 
 // CeilLog2 returns ⌈log2 p⌉ with CeilLog2(1) = 0, as used in the paper's

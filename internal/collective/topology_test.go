@@ -9,9 +9,19 @@ import (
 	"dnnparallel/internal/machine"
 )
 
-// span builds a balanced NodeSpan of p ranks over nodes of m each.
-func span(p, nodes, maxPer, minPer int) grid.NodeSpan {
-	return grid.NodeSpan{Ranks: p, Nodes: nodes, MaxPerNode: maxPer, MinPerNode: minPer}
+// span builds the two-level LevelSpan of p ranks over `nodes` nodes with
+// at most maxPer ranks on one node — the shape grid.SpanOf classifies on
+// a node/cluster machine. minPer is kept for the caller's documentation
+// of the shape; the cost model keys off the busiest node only.
+func span(p, nodes, maxPer, minPer int) grid.LevelSpan {
+	_ = minPer
+	return grid.LevelSpan{
+		Ranks: p,
+		Levels: []grid.LevelStat{
+			{Groups: nodes, MaxRanks: maxPer, Fanout: maxPer, Planes: 1},
+			{Groups: 1, MaxRanks: p, Fanout: nodes, Planes: maxPer},
+		},
+	}
 }
 
 // A uniform topology must reproduce the flat closed forms bit-for-bit,
@@ -35,7 +45,7 @@ func TestUniformTopologyIsExactlyFlat(t *testing.T) {
 			{"all-reduce", AllReduce(p, words, m), AllReduceTopo(s, words, topo)},
 			{"reduce-scatter", ReduceScatter(p, words, m), ReduceScatterTopo(s, words, topo)},
 			{"broadcast", Broadcast(p, words, m), BroadcastTopo(s, words, topo)},
-			{"p2p", PointToPoint(words, m), PointToPointTopo(rng.Intn(2) == 0, words, topo)},
+			{"p2p", PointToPoint(words, m), PointToPointTopo(0, words, topo)},
 		}
 		for _, c := range checks {
 			if c.flat != c.topo {
@@ -55,14 +65,14 @@ func TestSingleLevelClassification(t *testing.T) {
 	const words = 1e6
 
 	intra := AllReduceTopo(span(4, 1, 4, 4), words, topo)
-	wantIntra := AllReduce(4, words, machine.Machine{Alpha: topo.Intra.Alpha, Beta: topo.Intra.Beta})
-	if intra.Total() != wantIntra.Total() || intra.Intra != intra.Total() || intra.Inter != 0 {
+	wantIntra := AllReduce(4, words, machine.Machine{Alpha: topo.Intra().Alpha, Beta: topo.Intra().Beta})
+	if intra.Total() != wantIntra.Total() || intra.Level(0) != intra.Total() || intra.Level(1) != 0 {
 		t.Fatalf("intra group: got %+v, want total %g all on the intra link", intra, wantIntra.Total())
 	}
 
 	inter := AllReduceTopo(span(4, 4, 1, 1), words, topo)
 	wantInter := AllReduce(4, words, topo.Machine())
-	if inter.Total() != wantInter.Total() || inter.Inter != inter.Total() || inter.Intra != 0 {
+	if inter.Total() != wantInter.Total() || inter.Level(1) != inter.Total() || inter.Level(0) != 0 {
 		t.Fatalf("inter group: got %+v, want total %g all on the inter link", inter, wantInter.Total())
 	}
 	if intra.Total() >= inter.Total() {
@@ -76,21 +86,63 @@ func TestSingleLevelClassification(t *testing.T) {
 // serialized on the node's single NIC = 4 · 2(α_I·1 + β_I·(1/2)(n/4)).
 func TestHierarchicalAllReduceHandComputed(t *testing.T) {
 	topo := machine.CoriKNLNodes(4)
-	ai, bi := topo.Intra.Alpha, topo.Intra.Beta
-	aI, bI := topo.Inter.Alpha, topo.Inter.Beta
+	ai, bi := topo.Intra().Alpha, topo.Intra().Beta
+	aI, bI := topo.Inter().Alpha, topo.Inter().Beta
 	const n = 4e6
 
 	got := AllReduceTopo(span(8, 2, 4, 4), n, topo)
 	wantIntra := 2 * (ai*2 + bi*(3.0/4.0)*n)
 	wantInter := 4 * 2 * (aI*1 + bI*0.5*(n/4))
-	if math.Abs(got.Intra-wantIntra) > 1e-15*wantIntra {
-		t.Fatalf("intra portion = %g, want %g", got.Intra, wantIntra)
+	if math.Abs(got.Level(0)-wantIntra) > 1e-15*wantIntra {
+		t.Fatalf("intra portion = %g, want %g", got.Level(0), wantIntra)
 	}
-	if math.Abs(got.Inter-wantInter) > 1e-15*wantInter {
-		t.Fatalf("inter portion = %g, want %g", got.Inter, wantInter)
+	if math.Abs(got.Level(1)-wantInter) > 1e-15*wantInter {
+		t.Fatalf("inter portion = %g, want %g", got.Level(1), wantInter)
 	}
 	if math.Abs(got.Total()-(wantIntra+wantInter)) > 1e-15*got.Total() {
 		t.Fatalf("total = %g, want %g", got.Total(), wantIntra+wantInter)
+	}
+}
+
+// Hand-computed three-level all-reduce: 16 ranks as 2 racks × 2 nodes ×
+// 4 ranks, with distinct links per level. The recursion pays
+// reduce-scatter + all-gather at the node level (full n), the same pair
+// at the rack level on the n/4 shard across each node's 4 planes, and
+// the top-level all-reduce of the n/8 shard across the racks' 8-rank
+// planes.
+func TestThreeLevelAllReduceHandComputed(t *testing.T) {
+	node := machine.Link{Alpha: 5e-7, Beta: machine.WordBytes / 60e9}
+	rack := machine.Link{Alpha: 1e-6, Beta: machine.WordBytes / 12e9}
+	spine := machine.Link{Alpha: 2e-6, Beta: machine.WordBytes / 6e9}
+	topo := machine.Topology{
+		Name: "three",
+		Levels: []machine.Level{
+			{Name: "node", Link: node, GroupSize: 4},
+			{Name: "rack", Link: rack, GroupSize: 8},
+			{Name: "spine", Link: spine},
+		},
+		PeakFlops: 1,
+	}
+	const n = 8e6
+	s := grid.LevelSpan{
+		Ranks: 16,
+		Levels: []grid.LevelStat{
+			{Groups: 4, MaxRanks: 4, Fanout: 4, Planes: 1},
+			{Groups: 2, MaxRanks: 8, Fanout: 2, Planes: 4},
+			{Groups: 1, MaxRanks: 16, Fanout: 2, Planes: 8},
+		},
+	}
+	got := AllReduceTopo(s, n, topo)
+	wantNode := 2 * (node.Alpha*2 + node.Beta*(3.0/4.0)*n)
+	wantRack := 4 * 2 * (rack.Alpha*1 + rack.Beta*0.5*(n/4))
+	wantSpine := 8 * 2 * (spine.Alpha*1 + spine.Beta*0.5*(n/8))
+	for i, want := range []float64{wantNode, wantRack, wantSpine} {
+		if math.Abs(got.Level(i)-want) > 1e-15*want {
+			t.Fatalf("level %d portion = %g, want %g", i, got.Level(i), want)
+		}
+	}
+	if total := wantNode + wantRack + wantSpine; math.Abs(got.Total()-total) > 1e-15*total {
+		t.Fatalf("total = %g, want %g", got.Total(), total)
 	}
 }
 
@@ -103,17 +155,18 @@ func TestHierarchicalAllReduceHandComputed(t *testing.T) {
 // pass and the latency scales with the plane count.
 func TestMixedSpanAllReduceSerializesPlanes(t *testing.T) {
 	topo := machine.CoriKNLNodes(4)
-	inter := machine.Machine{Alpha: topo.Inter.Alpha, Beta: topo.Inter.Beta}
+	inter := machine.Machine{Alpha: topo.Inter().Alpha, Beta: topo.Inter().Beta}
 	const n = 4e6
-	s := span(8, 2, 4, 4)
+	const nodes, maxPer, minPer = 2, 4, 4
+	s := span(8, nodes, maxPer, minPer)
 	got := AllReduceTopo(s, n, topo)
-	onePlane := AllReduce(s.Nodes, n/float64(s.MinPerNode), inter)
-	uncontended := got.Intra + onePlane.Total() // the pre-fix total
+	onePlane := AllReduce(nodes, n/float64(minPer), inter)
+	uncontended := got.Level(0) + onePlane.Total() // the pre-fix total
 	if got.Total() <= uncontended {
 		t.Fatalf("serialized mixed-span all-reduce %g must exceed the uncontended-planes model %g",
 			got.Total(), uncontended)
 	}
-	want := got.Intra + float64(s.MaxPerNode)*AllReduce(s.Nodes, n/float64(s.MaxPerNode), inter).Total()
+	want := got.Level(0) + float64(maxPer)*AllReduce(nodes, n/float64(maxPer), inter).Total()
 	if math.Abs(got.Total()-want) > 1e-15*want {
 		t.Fatalf("serialized mixed-span all-reduce = %g, want intra + MaxPerNode·plane = %g", got.Total(), want)
 	}
@@ -122,16 +175,17 @@ func TestMixedSpanAllReduceSerializesPlanes(t *testing.T) {
 	// the full vector once per ring pass — NOT MaxPerNode planes of the
 	// thin node's larger words/MinPerNode shards, which no single node
 	// ever sends.
-	u := span(5, 2, 3, 2)
+	const uNodes, uMax, uMin = 2, 3, 2
+	u := span(5, uNodes, uMax, uMin)
 	gotU := AllReduceTopo(u, n, topo)
-	wantInter := AllReduce(u.Nodes, n/float64(u.MaxPerNode), inter).Scale(float64(u.MaxPerNode))
-	if math.Abs(gotU.Inter-wantInter.Total()) > 1e-15*wantInter.Total() {
-		t.Fatalf("unbalanced inter portion = %g, want busiest-NIC %g", gotU.Inter, wantInter.Total())
+	wantInter := AllReduce(uNodes, n/float64(uMax), inter).Scale(float64(uMax))
+	if math.Abs(gotU.Level(1)-wantInter.Total()) > 1e-15*wantInter.Total() {
+		t.Fatalf("unbalanced inter portion = %g, want busiest-NIC %g", gotU.Level(1), wantInter.Total())
 	}
-	overcounted := AllReduce(u.Nodes, n/float64(u.MinPerNode), inter).Scale(float64(u.MaxPerNode))
-	if gotU.Inter >= overcounted.Total() {
+	overcounted := AllReduce(uNodes, n/float64(uMin), inter).Scale(float64(uMax))
+	if gotU.Level(1) >= overcounted.Total() {
 		t.Fatalf("unbalanced inter %g must stay below the Max-planes×Min-shards overcount %g",
-			gotU.Inter, overcounted.Total())
+			gotU.Level(1), overcounted.Total())
 	}
 }
 
@@ -146,12 +200,10 @@ func TestHierarchicalBandwidthAccounting(t *testing.T) {
 	m := machine.CoriKNL()
 	// Same β at both levels, but zero latency so only bandwidth shows;
 	// differing alphas keep the topology non-uniform.
-	topo := machine.Topology{
-		Name:         "beta-equal",
-		Intra:        machine.Link{Alpha: 0, Beta: m.Beta},
-		Inter:        machine.Link{Alpha: 1e-6, Beta: m.Beta},
-		RanksPerNode: 4, PeakFlops: 1,
-	}
+	topo := machine.TwoLevel("beta-equal",
+		machine.Link{Alpha: 0, Beta: m.Beta},
+		machine.Link{Alpha: 1e-6, Beta: m.Beta},
+		4, 1)
 	const words = 1e6
 	for _, c := range []struct{ p, nodes, per int }{{8, 2, 4}, {16, 4, 4}, {64, 16, 4}, {6, 3, 2}} {
 		s := span(c.p, c.nodes, c.per, c.per)
@@ -204,8 +256,8 @@ func TestLevelAttributionSumsToTotal(t *testing.T) {
 			if s.Ranks > 1 && !c.Leveled() {
 				t.Fatalf("%s on non-uniform topology must be leveled: %+v", name, c)
 			}
-			if d := math.Abs(c.Intra + c.Inter - c.Total()); d > 1e-12*math.Max(c.Total(), 1e-300) {
-				t.Fatalf("%s: Intra %g + Inter %g != Total %g", name, c.Intra, c.Inter, c.Total())
+			if d := math.Abs(c.LevelSum() - c.Total()); d > 1e-12*math.Max(c.Total(), 1e-300) {
+				t.Fatalf("%s: level sum %g != Total %g", name, c.LevelSum(), c.Total())
 			}
 		}
 	}
@@ -215,15 +267,15 @@ func TestLevelAttributionSumsToTotal(t *testing.T) {
 func TestPointToPointTopo(t *testing.T) {
 	topo := machine.CoriKNLNodes(4)
 	const words = 1e5
-	same := PointToPointTopo(true, words, topo)
-	cross := PointToPointTopo(false, words, topo)
+	same := PointToPointTopo(0, words, topo)
+	cross := PointToPointTopo(1, words, topo)
 	if same.Total() >= cross.Total() {
 		t.Fatalf("same-node p2p %g must beat cross-node %g", same.Total(), cross.Total())
 	}
-	if same.Intra != same.Total() || cross.Inter != cross.Total() {
+	if same.Level(0) != same.Total() || cross.Level(1) != cross.Total() {
 		t.Fatalf("p2p attribution wrong: same=%+v cross=%+v", same, cross)
 	}
-	want := topo.Inter.Alpha + topo.Inter.Beta*words
+	want := topo.Inter().Alpha + topo.Inter().Beta*words
 	if math.Abs(cross.Total()-want) > 1e-18 {
 		t.Fatalf("cross-node p2p = %g, want %g", cross.Total(), want)
 	}
@@ -232,8 +284,8 @@ func TestPointToPointTopo(t *testing.T) {
 // MaxCost picks the governing span.
 func TestMaxCost(t *testing.T) {
 	topo := machine.CoriKNLNodes(4)
-	spans := []grid.NodeSpan{span(4, 1, 4, 4), span(4, 4, 1, 1)}
-	got := MaxCost(spans, func(s grid.NodeSpan) Cost { return AllReduceTopo(s, 1e6, topo) })
+	spans := []grid.LevelSpan{span(4, 1, 4, 4), span(4, 4, 1, 1)}
+	got := MaxCost(spans, func(s grid.LevelSpan) Cost { return AllReduceTopo(s, 1e6, topo) })
 	want := AllReduceTopo(spans[1], 1e6, topo)
 	if got != want {
 		t.Fatalf("MaxCost picked %+v, want the inter-node span's %+v", got, want)
@@ -248,7 +300,7 @@ func TestMaxCost(t *testing.T) {
 func TestTopoEdgeCases(t *testing.T) {
 	topo := machine.CoriKNLNodes(4)
 	for name, c := range map[string]Cost{
-		"empty all-reduce":     AllReduceTopo(grid.NodeSpan{}, 1e6, topo),
+		"empty all-reduce":     AllReduceTopo(grid.LevelSpan{}, 1e6, topo),
 		"singleton all-gather": AllGatherTopo(span(1, 1, 1, 1), 1e6, topo),
 		"singleton broadcast":  BroadcastTopo(span(1, 1, 1, 1), 1e6, topo),
 	} {

@@ -13,6 +13,7 @@ package costmodel
 
 import (
 	"fmt"
+	"strconv"
 
 	"dnnparallel/internal/collective"
 	"dnnparallel/internal/grid"
@@ -72,42 +73,114 @@ func (lc LayerCost) Halo() collective.Cost { return lc.FwdHalo.Add(lc.BwdHalo) }
 
 // Total returns the layer's total cost.
 func (lc LayerCost) Total() collective.Cost {
-	return lc.AllGather.Add(lc.ActReduce).Add(lc.GradReduce).Add(lc.FwdHalo).Add(lc.BwdHalo)
+	t := lc.AllGather
+	t.Accumulate(&lc.ActReduce)
+	t.Accumulate(&lc.GradReduce)
+	t.Accumulate(&lc.FwdHalo)
+	t.Accumulate(&lc.BwdHalo)
+	return t
+}
+
+// TotalSeconds returns Total().Total() without the per-level
+// bookkeeping — the quantity the planner's inner loop compares.
+func (lc *LayerCost) TotalSeconds() float64 {
+	return lc.AllGather.Total() + lc.ActReduce.Total() + lc.GradReduce.Total() +
+		lc.FwdHalo.Total() + lc.BwdHalo.Total()
 }
 
 // Breakdown is a whole-network per-iteration communication cost.
 type Breakdown struct {
 	Desc   string
 	Layers []LayerCost
+
+	// LevelNames labels the link levels of the topology the breakdown
+	// was priced against (innermost first), matching the
+	// collective.Cost.Levels attribution its layer costs carry; nil for
+	// flat-machine breakdowns.
+	LevelNames []string
+}
+
+// newBreakdown starts a breakdown sized for nlayers layer costs,
+// stamping the environment's level names when pricing is
+// topology-aware. The capacity hint matters: the planner's search loop
+// builds thousands of breakdowns, and growing Layers by doubling would
+// copy the (wide) LayerCost values several times per candidate.
+func (e Env) newBreakdown(desc string, nlayers int) *Breakdown {
+	b := &Breakdown{Desc: desc, Layers: make([]LayerCost, 0, nlayers)}
+	if !e.Flat() {
+		b.LevelNames = e.Topo.LevelNames()
+	}
+	return b
+}
+
+// gridDesc renders "<scheme>, grid=PrxPc, B=<B>" without fmt: the
+// search loop formats a desc per candidate, and fmt's reflection is
+// measurable there.
+func gridDesc(scheme string, g grid.Grid, B int) string {
+	return scheme + ", grid=" + strconv.Itoa(g.Pr) + "x" + strconv.Itoa(g.Pc) +
+		", B=" + strconv.Itoa(B)
+}
+
+// flatDesc renders "<scheme>, P=<P>, B=<B>" without fmt.
+func flatDesc(scheme string, P, B int) string {
+	return scheme + ", P=" + strconv.Itoa(P) + ", B=" + strconv.Itoa(B)
+}
+
+// LevelSeconds sums the per-level attribution across every layer and
+// collective: entry i is the seconds the iteration spends on link level
+// i (innermost first, labeled by LevelNames). nil for flat breakdowns.
+func (b *Breakdown) LevelSeconds() []float64 {
+	if len(b.LevelNames) == 0 {
+		return nil
+	}
+	t := b.Total()
+	out := make([]float64, len(b.LevelNames))
+	for i := range out {
+		out[i] = t.Level(i)
+	}
+	return out
 }
 
 // Total returns the per-iteration total communication cost.
 func (b *Breakdown) Total() collective.Cost {
 	var t collective.Cost
-	for _, l := range b.Layers {
-		t = t.Add(l.Total())
+	for i := range b.Layers {
+		l := &b.Layers[i]
+		t.Accumulate(&l.AllGather)
+		t.Accumulate(&l.ActReduce)
+		t.Accumulate(&l.GradReduce)
+		t.Accumulate(&l.FwdHalo)
+		t.Accumulate(&l.BwdHalo)
 	}
 	return t
 }
 
-// TotalSeconds returns Total().Total().
-func (b *Breakdown) TotalSeconds() float64 { return b.Total().Total() }
+// TotalSeconds returns Total().Total(), computed without the per-level
+// bookkeeping (Total() is element-wise, so the seconds sum commutes).
+func (b *Breakdown) TotalSeconds() float64 {
+	var t float64
+	for i := range b.Layers {
+		t += b.Layers[i].TotalSeconds()
+	}
+	return t
+}
 
 // GradReduceSeconds returns the batch-parallel portion (the ∆W
 // all-reduce), i.e. the cross-hatched bars of Fig. 6.
 func (b *Breakdown) GradReduceSeconds() float64 {
-	var t collective.Cost
-	for _, l := range b.Layers {
-		t = t.Add(l.GradReduce)
+	var t float64
+	for i := range b.Layers {
+		t += b.Layers[i].GradReduce.Total()
 	}
-	return t.Total()
+	return t
 }
 
 // ForwardSeconds returns the forward-pass communication (activation
 // all-gathers plus the forward halo exchanges).
 func (b *Breakdown) ForwardSeconds() float64 {
 	var t float64
-	for _, l := range b.Layers {
+	for i := range b.Layers {
+		l := &b.Layers[i]
 		t += l.AllGather.Total() + l.FwdHalo.Total()
 	}
 	return t
@@ -118,7 +191,8 @@ func (b *Breakdown) ForwardSeconds() float64 {
 // overlaps with computation.
 func (b *Breakdown) BackwardSeconds() float64 {
 	var t float64
-	for _, l := range b.Layers {
+	for i := range b.Layers {
+		l := &b.Layers[i]
 		t += l.ActReduce.Total() + l.GradReduce.Total() + l.BwdHalo.Total()
 	}
 	return t
@@ -135,9 +209,9 @@ func PureModel(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
 // PureModel is Eq. 3 priced against the environment's topology: the
 // P-wide all-gather/all-reduce groups span the whole machine.
 func (e Env) PureModel(net *nn.Network, B, P int) *Breakdown {
-	b := &Breakdown{Desc: fmt.Sprintf("pure model, P=%d, B=%d", P, B)}
-	pr := e.pricerFor(grid.Grid{Pr: P, Pc: 1})
 	widx := net.WeightedLayers()
+	b := e.newBreakdown(flatDesc("pure model", P, B), len(widx))
+	pr := e.pricerFor(grid.Grid{Pr: P, Pc: 1})
 	for k, li := range widx {
 		l := &net.Layers[li]
 		lc := LayerCost{Index: li, Name: l.Name, Strategy: Model}
@@ -159,9 +233,10 @@ func PureBatch(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
 
 // PureBatch is Eq. 4 priced against the environment's topology.
 func (e Env) PureBatch(net *nn.Network, B, P int) *Breakdown {
-	b := &Breakdown{Desc: fmt.Sprintf("pure batch, P=%d, B=%d", P, B)}
+	widx := net.WeightedLayers()
+	b := e.newBreakdown(flatDesc("pure batch", P, B), len(widx))
 	pr := e.pricerFor(grid.Grid{Pr: 1, Pc: P})
-	for _, li := range net.WeightedLayers() {
+	for _, li := range widx {
 		l := &net.Layers[li]
 		lc := LayerCost{Index: li, Name: l.Name, Strategy: BatchOnly}
 		lc.GradReduce = pr.allAllReduce(float64(l.Weights()))
@@ -205,11 +280,12 @@ func PureDomain(net *nn.Network, B, P int, m machine.Machine) *Breakdown {
 // partners are spatially adjacent machine ranks, the gradient all-reduce
 // spans the whole machine.
 func (e Env) PureDomain(net *nn.Network, B, P int) *Breakdown {
-	b := &Breakdown{Desc: fmt.Sprintf("pure domain, P=%d, B=%d", P, B)}
+	widx := net.WeightedLayers()
+	b := e.newBreakdown(flatDesc("pure domain", P, B), len(widx))
 	// Pure domain does not split the batch (Pc = 1): every process holds
 	// a slab of all B samples, so halo volumes carry the full B of Eq. 7.
 	pr := e.pricerFor(grid.Grid{Pr: P, Pc: 1})
-	for _, li := range net.WeightedLayers() {
+	for _, li := range widx {
 		b.Layers = append(b.Layers, domainLayerCost(net, li, B, pr))
 	}
 	return b
@@ -258,9 +334,9 @@ func Integrated(net *nn.Network, B int, g grid.Grid, m machine.Machine) *Breakdo
 // all-gather/∆X groups are the placement's column groups, the ∆W groups
 // its row groups.
 func (e Env) Integrated(net *nn.Network, B int, g grid.Grid) *Breakdown {
-	b := &Breakdown{Desc: fmt.Sprintf("integrated 1.5D, grid=%v, B=%d", g, B)}
-	pr := e.pricerFor(g)
 	widx := net.WeightedLayers()
+	b := e.newBreakdown(gridDesc("integrated 1.5D", g, B), len(widx))
+	pr := e.pricerFor(g)
 	for k, li := range widx {
 		b.Layers = append(b.Layers, modelLayerCost(net, li, B, pr, k == 0))
 	}
@@ -331,9 +407,9 @@ func FullIntegrated(net *nn.Network, B int, g grid.Grid, assign Assignment, m ma
 
 // FullIntegrated is Eq. 9 priced against the environment's topology.
 func (e Env) FullIntegrated(net *nn.Network, B int, g grid.Grid, assign Assignment) *Breakdown {
-	b := &Breakdown{Desc: fmt.Sprintf("full integrated, grid=%v, B=%d", g, B)}
-	pr := e.pricerFor(g)
 	widx := net.WeightedLayers()
+	b := e.newBreakdown(gridDesc("full integrated", g, B), len(widx))
+	pr := e.pricerFor(g)
 	for _, li := range widx {
 		s := Model
 		if assign != nil {

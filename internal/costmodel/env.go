@@ -10,10 +10,11 @@ import (
 // topology plus the rank placement that decides where each Pr/Pc
 // collective group physically sits. The flat environment (FlatEnv) is
 // the paper's setting — a uniform topology prices every term with the
-// flat closed forms, bit-for-bit — while a two-level topology prices
-// each group against its actual node span: intra-node groups ride the
-// fast link, one-rank-per-node groups the slow one, and straddling
-// groups pay a hierarchical decomposition (see internal/collective).
+// flat closed forms, bit-for-bit — while a hierarchical topology prices
+// each group against its actual level span: groups inside one node ride
+// the fast link, one-rank-per-node groups the node uplink, and
+// straddling groups pay a recursive decomposition level by level (see
+// internal/collective).
 type Env struct {
 	Topo      machine.Topology
 	Placement grid.Placement
@@ -29,55 +30,75 @@ func FlatEnv(m machine.Machine) Env {
 // Flat reports whether the environment degenerates to a flat machine.
 func (e Env) Flat() bool { return e.Topo.Uniform() }
 
-// pricer caches the node spans of one grid's collective groups so each
+// pricer caches the level spans of one grid's collective groups so each
 // FullIntegrated call classifies the placement once, not per layer.
 type pricer struct {
 	env Env
 	g   grid.Grid
-	// col, row, and all are the distinct node spans of the column
-	// groups, row groups, and the whole machine; haloIntra reports
-	// whether every halo-exchange pair stays on one node.
-	col, row, all []grid.NodeSpan
-	haloIntra     bool
+	// col, row, and all are the distinct level spans of the column
+	// groups, row groups, and the whole machine; haloLevel is the
+	// innermost topology level containing every halo-exchange pair.
+	col, row, all []grid.LevelSpan
+	haloLevel     int
+	// flat caches Env.Flat() and m the degenerate machine so the search
+	// loop prices uniform topologies with the closed forms directly —
+	// one Uniform() scan per pricer instead of one per collective.
+	flat bool
+	m    machine.Machine
+	// spans backs the single-span slices above so the search loop's
+	// pricer costs one allocation, not four.
+	spans [3]grid.LevelSpan
 }
 
 func (e Env) pricerFor(g grid.Grid) *pricer {
 	p := &pricer{env: e, g: g}
 	if e.Flat() {
 		// The uniform fast path in internal/collective reads only the
-		// group size; skip the O(P) placement scan.
-		p.col = []grid.NodeSpan{{Ranks: g.Pr}}
-		p.row = []grid.NodeSpan{{Ranks: g.Pc}}
-		p.all = []grid.NodeSpan{{Ranks: g.P()}}
-		p.haloIntra = true
+		// group size; skip the O(P·L) placement scan.
+		p.flat = true
+		p.m = e.Topo.Machine()
+		p.spans = [3]grid.LevelSpan{{Ranks: g.Pr}, {Ranks: g.Pc}, {Ranks: g.P()}}
+		p.col = p.spans[0:1:1]
+		p.row = p.spans[1:2:2]
+		p.all = p.spans[2:3:3]
 		return p
 	}
-	ppn := e.Topo.RanksPerNode
-	p.col = g.ColGroupSpans(ppn, e.Placement)
-	p.row = g.RowGroupSpans(ppn, e.Placement)
-	p.all = []grid.NodeSpan{g.AllSpan(ppn)}
-	p.haloIntra = g.ColNeighborsIntra(ppn, e.Placement)
+	sizes := e.Topo.GroupSizes()
+	p.col = g.ColGroupSpans(sizes, e.Placement)
+	p.row = g.RowGroupSpans(sizes, e.Placement)
+	p.spans[2] = g.AllSpan(sizes)
+	p.all = p.spans[2:3:3]
+	p.haloLevel = g.ColNeighborsLevel(sizes, e.Placement)
 	return p
 }
 
 // colAllGather prices the forward activation all-gather over the
 // Pr-sized column groups (worst group shape governs).
 func (p *pricer) colAllGather(words float64) collective.Cost {
-	return collective.MaxCost(p.col, func(s grid.NodeSpan) collective.Cost {
+	if p.flat {
+		return collective.AllGather(p.g.Pr, words, p.m)
+	}
+	return collective.MaxCost(p.col, func(s grid.LevelSpan) collective.Cost {
 		return collective.AllGatherTopo(s, words, p.env.Topo)
 	})
 }
 
 // colAllReduce prices the backprop ∆X all-reduce over the column groups.
 func (p *pricer) colAllReduce(words float64) collective.Cost {
-	return collective.MaxCost(p.col, func(s grid.NodeSpan) collective.Cost {
+	if p.flat {
+		return collective.AllReduce(p.g.Pr, words, p.m)
+	}
+	return collective.MaxCost(p.col, func(s grid.LevelSpan) collective.Cost {
 		return collective.AllReduceTopo(s, words, p.env.Topo)
 	})
 }
 
 // rowAllReduce prices the ∆W all-reduce over the Pc-sized row groups.
 func (p *pricer) rowAllReduce(words float64) collective.Cost {
-	return collective.MaxCost(p.row, func(s grid.NodeSpan) collective.Cost {
+	if p.flat {
+		return collective.AllReduce(p.g.Pc, words, p.m)
+	}
+	return collective.MaxCost(p.row, func(s grid.LevelSpan) collective.Cost {
 		return collective.AllReduceTopo(s, words, p.env.Topo)
 	})
 }
@@ -85,7 +106,10 @@ func (p *pricer) rowAllReduce(words float64) collective.Cost {
 // allAllReduce prices a full-P all-reduce (domain/batch-only gradient
 // reductions).
 func (p *pricer) allAllReduce(words float64) collective.Cost {
-	return collective.MaxCost(p.all, func(s grid.NodeSpan) collective.Cost {
+	if p.flat {
+		return collective.AllReduce(p.g.P(), words, p.m)
+	}
+	return collective.MaxCost(p.all, func(s grid.LevelSpan) collective.Cost {
 		return collective.AllReduceTopo(s, words, p.env.Topo)
 	})
 }
@@ -93,5 +117,8 @@ func (p *pricer) allAllReduce(words float64) collective.Cost {
 // halo prices one halo-exchange message between spatially adjacent ranks
 // of a column group.
 func (p *pricer) halo(words float64) collective.Cost {
-	return collective.PointToPointTopo(p.haloIntra, words, p.env.Topo)
+	if p.flat {
+		return collective.PointToPoint(words, p.m)
+	}
+	return collective.PointToPointTopo(p.haloLevel, words, p.env.Topo)
 }

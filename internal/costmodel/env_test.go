@@ -97,8 +97,8 @@ func TestEnvFlatEquivalenceProperty(t *testing.T) {
 		g := grids[rng.Intn(len(grids))]
 		B := g.Pc * (1 + rng.Intn(8))
 		// Uniform topology with arbitrary node size and placement.
-		topo := machine.Flat(m)
-		topo.RanksPerNode = 1 + rng.Intn(8)
+		topo := machine.TwoLevel(m.Name, machine.Link{Alpha: m.Alpha, Beta: m.Beta},
+			machine.Link{Alpha: m.Alpha, Beta: m.Beta}, 1+rng.Intn(8), m.PeakFlops)
 		env := Env{Topo: topo, Placement: grid.Placements()[rng.Intn(2)]}
 
 		assign := make(Assignment)
@@ -123,7 +123,7 @@ func TestEnvFlatEquivalenceProperty(t *testing.T) {
 			for i := range pair.flat.Layers {
 				if pair.flat.Layers[i] != pair.topo.Layers[i] {
 					t.Fatalf("%s (grid %v, B=%d, ppn=%d, %v): layer %d differs:\nflat %+v\ntopo %+v",
-						pair.name, g, B, topo.RanksPerNode, env.Placement, i,
+						pair.name, g, B, topo.RanksPerNode(), env.Placement, i,
 						pair.flat.Layers[i], pair.topo.Layers[i])
 				}
 			}
@@ -165,9 +165,9 @@ func TestPlacementChangesModelCosts(t *testing.T) {
 				cost float64
 				in   float64
 			}{
-				{"AllGather", lc.AllGather.Total(), lc.AllGather.Intra + lc.AllGather.Inter},
-				{"ActReduce", lc.ActReduce.Total(), lc.ActReduce.Intra + lc.ActReduce.Inter},
-				{"GradReduce", lc.GradReduce.Total(), lc.GradReduce.Intra + lc.GradReduce.Inter},
+				{"AllGather", lc.AllGather.Total(), lc.AllGather.LevelSum()},
+				{"ActReduce", lc.ActReduce.Total(), lc.ActReduce.LevelSum()},
+				{"GradReduce", lc.GradReduce.Total(), lc.GradReduce.LevelSum()},
 			} {
 				if c.cost > 0 && math.Abs(c.in-c.cost) > 1e-12*c.cost {
 					t.Fatalf("%s %s: level attribution %g != total %g", lc.Name, c.name, c.in, c.cost)

@@ -89,18 +89,26 @@ func AggregateTimeline(b *Breakdown, compSeconds float64) []timeline.Layer {
 // the simulator treats slice order as forward order, so encounter order
 // must not leak through when the two inputs cover different index sets.
 //
-// A breakdown priced against a two-level topology carries per-level cost
-// attributions (collective.Cost.Intra/Inter); TimelineLayers forwards
-// them as timeline.LayerLevels so intra- and inter-node collectives
-// schedule on separate link lanes. Flat breakdowns produce flat layers
-// (single Network lane) — the legacy behavior, bit-identical.
+// A breakdown priced against a hierarchical topology carries per-level
+// cost attributions (collective.Cost.Levels) and level names
+// (Breakdown.LevelNames); TimelineLayers forwards them as
+// timeline.LayerLevels so every link level's collectives schedule on
+// their own lane. Flat breakdowns produce flat layers (single Network
+// lane) — the legacy behavior, bit-identical.
 func TimelineLayers(b *Breakdown, times []compute.LayerTime) []timeline.Layer {
-	leveled := false
+	depth := len(b.LevelNames)
+	leveled := depth > 0
 	for _, lc := range b.Layers {
-		if lc.AllGather.Leveled() || lc.FwdHalo.Leveled() || lc.ActReduce.Leveled() ||
-			lc.GradReduce.Leveled() || lc.BwdHalo.Leveled() {
+		for _, c := range []collective.Cost{lc.AllGather, lc.FwdHalo, lc.ActReduce, lc.GradReduce, lc.BwdHalo} {
+			if !c.Leveled() {
+				continue
+			}
 			leveled = true
-			break
+			for i := depth; i < len(c.Levels); i++ {
+				if c.Levels[i] != 0 {
+					depth = i + 1
+				}
+			}
 		}
 	}
 	merged := make(map[int]*timeline.Layer, len(b.Layers))
@@ -111,24 +119,28 @@ func TimelineLayers(b *Breakdown, times []compute.LayerTime) []timeline.Layer {
 		// Levels is always allocated while merging (so the set closure
 		// has a target) and dropped from the output when the breakdown
 		// is flat.
-		l := &timeline.Layer{Name: name, Levels: &timeline.LayerLevels{}}
+		l := &timeline.Layer{Name: name, Levels: &timeline.LayerLevels{Names: b.LevelNames}}
 		merged[index] = l
 		return l
 	}
-	set := func(flat *float64, lane *timeline.LinkCost, c collective.Cost) {
+	set := func(flat *float64, lane *[]float64, c collective.Cost) {
 		*flat = c.Total()
 		if !leveled {
 			return
 		}
+		lv := make([]float64, depth)
 		if c.Leveled() {
-			*lane = timeline.LinkCost{Intra: c.Intra, Inter: c.Inter}
+			for i := range lv {
+				lv[i] = c.Level(i)
+			}
 		} else {
 			// A flat cost inside a leveled breakdown can only be zero —
 			// anything else would have been tagged by the topology
-			// pricer — so attributing it to the intra lane keeps the
+			// pricer — so attributing it to the innermost lane keeps the
 			// split/flat consistency invariant trivially.
-			*lane = timeline.LinkCost{Intra: c.Total()}
+			lv[0] = c.Total()
 		}
+		*lane = lv
 	}
 	for _, lc := range b.Layers {
 		l := at(lc.Index, lc.Name)

@@ -67,10 +67,17 @@ func (s Setup) Table1() string {
 		{"", "peak", fmt.Sprintf("%.1f TFLOP/s model", s.Machine.PeakFlops/1e12)},
 	}
 	if !s.Topology.IsZero() {
-		rows = append(rows,
-			[]string{"", "topology", fmt.Sprintf("%d ranks/node", s.Topology.RanksPerNode)},
-			[]string{"", "intra-node link", fmt.Sprintf("α = %.2gµs, 1/β = %.0f GB/s",
-				s.Topology.Intra.Alpha*1e6, s.Topology.Intra.BandwidthBytes()/1e9)})
+		rows = append(rows, []string{"", "topology",
+			fmt.Sprintf("%d levels, %d ranks/node", s.Topology.Depth(), s.Topology.RanksPerNode())})
+		for _, lv := range s.Topology.Levels {
+			extent := "unbounded"
+			if lv.GroupSize > 0 {
+				extent = fmt.Sprintf("%d ranks", lv.GroupSize)
+			}
+			rows = append(rows, []string{"", fmt.Sprintf("%s link", lv.Name),
+				fmt.Sprintf("α = %.2gµs, 1/β = %.0f GB/s (%s)",
+					lv.Link.Alpha*1e6, lv.Link.BandwidthBytes()/1e9, extent)})
+		}
 	}
 	return report.Table([]string{"Fixed option", "Value", "Relevant parameters"}, rows)
 }

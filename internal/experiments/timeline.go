@@ -80,29 +80,30 @@ func TimelineCSV(studies []TimelineResult) string {
 }
 
 // GanttLegend names the lanes a schedule actually uses: the flat lanes
-// "█ compute, ▒ network" or, on a two-level topology, the split link
-// lanes "▓ net-intra, ░ net-inter". Shared by dnnsim and dnnplan.
+// "█ compute, ▒ network" or, on a hierarchical topology, one glyph per
+// link level named by the topology ("▓ net-node, ░ net-rack, …").
+// Shared by dnnsim and dnnplan.
 func GanttLegend(res *timeline.Result) string {
 	used := map[timeline.Resource]bool{}
 	for _, s := range res.Spans {
-		used[s.Resource] = true
+		used[s.Resource.Base()] = true
 	}
 	legend := "█ compute"
-	if used[timeline.Network] {
-		legend += ", ▒ network"
+	lanes := []timeline.Resource{timeline.Network}
+	for i := 0; i < timeline.MaxNetworkLevels; i++ {
+		lanes = append(lanes, timeline.NetworkLevel(i))
 	}
-	if used[timeline.NetworkIntra] {
-		legend += ", ▓ net-intra"
-	}
-	if used[timeline.NetworkInter] {
-		legend += ", ░ net-inter"
+	for _, l := range lanes {
+		if used[l] {
+			legend += fmt.Sprintf(", %c %s", report.LaneGlyph(int(l)), res.LaneName(l))
+		}
 	}
 	return legend
 }
 
 // GanttSpans converts a simulated schedule into report rows (lane =
-// timeline.Resource: compute, network, net-intra, net-inter), shared by
-// dnnsim and dnnplan.
+// timeline.Resource: compute, network, and the per-level link lanes),
+// shared by dnnsim and dnnplan.
 func GanttSpans(res *timeline.Result) []report.GanttSpan {
 	var spans []report.GanttSpan
 	for _, sp := range res.Spans {

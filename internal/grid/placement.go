@@ -82,145 +82,220 @@ func (g Grid) MachineRank(r, c int, pl Placement) int {
 	return r*g.Pc + c
 }
 
-// NodeSpan summarizes how one collective group's machine ranks map onto
-// nodes of ppn ranks each — the only information the hierarchical α–β
-// cost formulas need.
-type NodeSpan struct {
+// LevelStat summarizes how one collective group's machine ranks occupy
+// one level of a hierarchical machine — the per-level information the
+// recursive α–β cost formulas need. Levels follow machine.Topology
+// order, innermost first.
+type LevelStat struct {
+	// Groups is the number of distinct level-i groups the collective
+	// group touches (nodes at level 0 of a node/cluster machine).
+	Groups int
+	// MaxRanks is the largest number of the group's ranks inside any
+	// one touched level-i group.
+	MaxRanks int
+	// Fanout is the largest number of touched immediate sub-units
+	// inside one touched group: ranks for the innermost level, touched
+	// level-(i−1) groups above. A level with Fanout 1 moves no data —
+	// the recursion skips it.
+	Fanout int
+	// Planes is the number of concurrent communication planes a
+	// hierarchical collective runs across this level's links: the
+	// busiest sub-unit's rank count (1 at the innermost level). The
+	// per-level phase of a collective is serialized over its planes —
+	// they share the sub-unit's single uplink, exactly as the PR 3
+	// two-level model serialized MaxPerNode planes over a node's NIC.
+	Planes int
+}
+
+// LevelSpan classifies one collective group of machine ranks against
+// every level of a hierarchical machine. The zero value (no levels)
+// stands for a group on a flat machine — uniform-topology pricing never
+// consults the per-level stats.
+type LevelSpan struct {
 	// Ranks is the group size p.
 	Ranks int
-	// Nodes is the number of distinct nodes the group touches.
-	Nodes int
-	// MaxPerNode and MinPerNode bound the group's rank count per touched
-	// node. Nodes == 1 means the group is intra-node; MaxPerNode == 1
-	// means it is one-rank-per-node (pure inter-node); anything else is
-	// mixed and costs a hierarchical (intra + inter) collective.
-	MaxPerNode, MinPerNode int
+	// Levels holds one LevelStat per topology level, innermost first.
+	Levels []LevelStat
 }
 
-// Intra reports whether the whole group sits on one node.
-func (s NodeSpan) Intra() bool { return s.Nodes <= 1 }
+// Active reports whether level i moves data for this group — whether
+// the group spreads over more than one of that level's sub-units.
+func (s LevelSpan) Active(i int) bool { return s.Levels[i].Fanout > 1 }
 
-// Inter reports whether the group has exactly one rank per node.
-func (s NodeSpan) Inter() bool { return s.MaxPerNode <= 1 }
-
-func (s NodeSpan) String() string {
-	return fmt.Sprintf("%d ranks over %d nodes (%d–%d per node)",
-		s.Ranks, s.Nodes, s.MinPerNode, s.MaxPerNode)
+func (s LevelSpan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d ranks", s.Ranks)
+	for i, lv := range s.Levels {
+		fmt.Fprintf(&b, "; l%d: %d groups (≤%d ranks, fanout %d, %d planes)",
+			i, lv.Groups, lv.MaxRanks, lv.Fanout, lv.Planes)
+	}
+	return b.String()
 }
 
-// SpanOf classifies a set of machine ranks against nodes of ppn ranks
-// each (node of rank r = ⌊r/ppn⌋). ppn must be ≥ 1.
-func SpanOf(ranks []int, ppn int) NodeSpan {
-	if ppn < 1 {
-		panic(fmt.Sprintf("grid: SpanOf needs ppn ≥ 1, got %d", ppn))
+// levelUnit returns the index of the size-`size` unit that machine rank
+// r falls in; size 0 (an unbounded outermost level) is one unit.
+func levelUnit(r, size int) int {
+	if size > 0 {
+		return r / size
+	}
+	return 0
+}
+
+// SpanOf classifies a set of machine ranks against a hierarchy of group
+// sizes (innermost first, as machine.Topology.GroupSizes returns them;
+// the outermost size may be 0 = the whole machine). Non-outermost sizes
+// must be ≥ 1.
+func SpanOf(ranks []int, sizes []int) LevelSpan {
+	if len(sizes) == 0 {
+		panic("grid: SpanOf needs at least one level size")
+	}
+	for i, size := range sizes[:len(sizes)-1] {
+		if size < 1 {
+			panic(fmt.Sprintf("grid: SpanOf level %d needs a group size ≥ 1, got %d", i, size))
+		}
 	}
 	if len(ranks) == 0 {
-		return NodeSpan{}
+		return LevelSpan{}
 	}
-	perNode := make(map[int]int)
-	for _, r := range ranks {
-		perNode[r/ppn]++
-	}
-	s := NodeSpan{Ranks: len(ranks), Nodes: len(perNode), MinPerNode: len(ranks)}
-	for _, n := range perNode {
-		if n > s.MaxPerNode {
-			s.MaxPerNode = n
+	s := LevelSpan{Ranks: len(ranks), Levels: make([]LevelStat, len(sizes))}
+	prevMaxRanks := 1
+	for i, size := range sizes {
+		rankCount := make(map[int]int)
+		subUnits := make(map[int]map[int]struct{})
+		for _, r := range ranks {
+			gid := levelUnit(r, size)
+			rankCount[gid]++
+			sub := r
+			if i > 0 {
+				sub = levelUnit(r, sizes[i-1])
+			}
+			set := subUnits[gid]
+			if set == nil {
+				set = make(map[int]struct{})
+				subUnits[gid] = set
+			}
+			set[sub] = struct{}{}
 		}
-		if n < s.MinPerNode {
-			s.MinPerNode = n
+		st := LevelStat{Groups: len(rankCount), Planes: prevMaxRanks}
+		for gid, n := range rankCount {
+			if n > st.MaxRanks {
+				st.MaxRanks = n
+			}
+			if f := len(subUnits[gid]); f > st.Fanout {
+				st.Fanout = f
+			}
 		}
+		s.Levels[i] = st
+		prevMaxRanks = st.MaxRanks
 	}
 	return s
 }
 
+// compareSpans orders spans deterministically (Ranks, then per-level
+// stats innermost first) so worst-case selection over a deduplicated
+// span list cannot depend on group enumeration order.
+func compareSpans(a, b LevelSpan) int {
+	if a.Ranks != b.Ranks {
+		return a.Ranks - b.Ranks
+	}
+	if len(a.Levels) != len(b.Levels) {
+		return len(a.Levels) - len(b.Levels)
+	}
+	for i := range a.Levels {
+		x, y := a.Levels[i], b.Levels[i]
+		switch {
+		case x.Groups != y.Groups:
+			return x.Groups - y.Groups
+		case x.MaxRanks != y.MaxRanks:
+			return x.MaxRanks - y.MaxRanks
+		case x.Fanout != y.Fanout:
+			return x.Fanout - y.Fanout
+		case x.Planes != y.Planes:
+			return x.Planes - y.Planes
+		}
+	}
+	return 0
+}
+
 // dedupeSpans sorts and deduplicates spans so callers price each distinct
-// group shape once; order is deterministic (worst-case selection over the
-// result must not depend on group enumeration order).
-func dedupeSpans(spans []NodeSpan) []NodeSpan {
-	sort.Slice(spans, func(i, j int) bool {
-		a, b := spans[i], spans[j]
-		if a.Nodes != b.Nodes {
-			return a.Nodes < b.Nodes
-		}
-		if a.MaxPerNode != b.MaxPerNode {
-			return a.MaxPerNode < b.MaxPerNode
-		}
-		return a.MinPerNode < b.MinPerNode
-	})
+// group shape once.
+func dedupeSpans(spans []LevelSpan) []LevelSpan {
+	sort.Slice(spans, func(i, j int) bool { return compareSpans(spans[i], spans[j]) < 0 })
 	out := spans[:0]
 	for i, s := range spans {
-		if i == 0 || s != out[len(out)-1] {
+		if i == 0 || compareSpans(s, out[len(out)-1]) != 0 {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// ColGroupSpans returns the distinct node spans of the Pc column groups
+// ColGroupSpans returns the distinct level spans of the Pc column groups
 // (the Pr-sized all-gather / ∆X all-reduce groups of Fig. 5) under a
-// placement. Misaligned groups can straddle node boundaries differently,
-// so more than one shape may come back; a bulk-synchronous collective is
-// governed by the most expensive one.
-func (g Grid) ColGroupSpans(ppn int, pl Placement) []NodeSpan {
-	spans := make([]NodeSpan, 0, g.Pc)
+// placement. Misaligned groups can straddle group boundaries
+// differently, so more than one shape may come back; a bulk-synchronous
+// collective is governed by the most expensive one.
+func (g Grid) ColGroupSpans(sizes []int, pl Placement) []LevelSpan {
+	spans := make([]LevelSpan, 0, g.Pc)
 	ranks := make([]int, g.Pr)
 	for c := 0; c < g.Pc; c++ {
 		for r := 0; r < g.Pr; r++ {
 			ranks[r] = g.MachineRank(r, c, pl)
 		}
-		spans = append(spans, SpanOf(ranks, ppn))
+		spans = append(spans, SpanOf(ranks, sizes))
 	}
 	return dedupeSpans(spans)
 }
 
-// RowGroupSpans returns the distinct node spans of the Pr row groups (the
-// Pc-sized ∆W all-reduce groups of Fig. 5) under a placement.
-func (g Grid) RowGroupSpans(ppn int, pl Placement) []NodeSpan {
-	spans := make([]NodeSpan, 0, g.Pr)
+// RowGroupSpans returns the distinct level spans of the Pr row groups
+// (the Pc-sized ∆W all-reduce groups of Fig. 5) under a placement.
+func (g Grid) RowGroupSpans(sizes []int, pl Placement) []LevelSpan {
+	spans := make([]LevelSpan, 0, g.Pr)
 	ranks := make([]int, g.Pc)
 	for r := 0; r < g.Pr; r++ {
 		for c := 0; c < g.Pc; c++ {
 			ranks[c] = g.MachineRank(r, c, pl)
 		}
-		spans = append(spans, SpanOf(ranks, ppn))
+		spans = append(spans, SpanOf(ranks, sizes))
 	}
 	return dedupeSpans(spans)
 }
 
-// AllSpan returns the node span of the whole machine — machine ranks
+// AllSpan returns the level span of the whole machine — machine ranks
 // 0..P−1 — used by the full-P collectives (pure batch / domain gradient
 // all-reduces). It is placement-independent: every placement is a
 // bijection onto 0..P−1.
-func (g Grid) AllSpan(ppn int) NodeSpan {
-	if ppn < 1 {
-		panic(fmt.Sprintf("grid: AllSpan needs ppn ≥ 1, got %d", ppn))
+func (g Grid) AllSpan(sizes []int) LevelSpan {
+	ranks := make([]int, g.P())
+	for i := range ranks {
+		ranks[i] = i
 	}
-	p := g.P()
-	nodes := (p + ppn - 1) / ppn
-	s := NodeSpan{Ranks: p, Nodes: nodes, MaxPerNode: min(p, ppn), MinPerNode: min(p, ppn)}
-	if rem := p % ppn; rem != 0 && nodes > 1 {
-		s.MinPerNode = rem
-	}
-	return s
+	return SpanOf(ranks, sizes)
 }
 
-// ColNeighborsIntra reports whether every pair of spatially adjacent
-// ranks within every column group — the halo-exchange partners of the
-// domain-parallel layers (Eq. 7) — sits on one node. The halo step is
-// bulk-synchronous across all pairs, so a single node-crossing pair makes
-// the whole exchange pay the inter-node link.
-func (g Grid) ColNeighborsIntra(ppn int, pl Placement) bool {
-	if ppn < 1 {
-		panic(fmt.Sprintf("grid: ColNeighborsIntra needs ppn ≥ 1, got %d", ppn))
+// ColNeighborsLevel returns the innermost level whose groups contain
+// every pair of spatially adjacent ranks within every column group —
+// the halo-exchange partners of the domain-parallel layers (Eq. 7).
+// The halo step is bulk-synchronous across all pairs, so a single
+// boundary-crossing pair lifts the whole exchange to the level (and
+// link) of that crossing.
+func (g Grid) ColNeighborsLevel(sizes []int, pl Placement) int {
+	if len(sizes) == 0 {
+		panic("grid: ColNeighborsLevel needs at least one level size")
 	}
+	level := 0
 	for c := 0; c < g.Pc; c++ {
 		for r := 0; r+1 < g.Pr; r++ {
 			a := g.MachineRank(r, c, pl)
 			b := g.MachineRank(r+1, c, pl)
-			if a/ppn != b/ppn {
-				return false
+			l := 0
+			for l < len(sizes)-1 && levelUnit(a, sizes[l]) != levelUnit(b, sizes[l]) {
+				l++
+			}
+			if l > level {
+				level = l
 			}
 		}
 	}
-	return true
+	return level
 }

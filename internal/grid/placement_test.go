@@ -1,6 +1,9 @@
 package grid
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestMachineRankConventions(t *testing.T) {
 	g := Grid{Pr: 3, Pc: 4}
@@ -47,61 +50,81 @@ func TestParsePlacement(t *testing.T) {
 	}
 }
 
+// stat is shorthand for a LevelStat literal in expectations.
+func stat(groups, maxRanks, fanout, planes int) LevelStat {
+	return LevelStat{Groups: groups, MaxRanks: maxRanks, Fanout: fanout, Planes: planes}
+}
+
 func TestSpanOf(t *testing.T) {
+	twoLevel := []int{4, 0} // 4-rank nodes under an unbounded cluster
 	cases := []struct {
 		name  string
 		ranks []int
-		ppn   int
-		want  NodeSpan
+		sizes []int
+		want  LevelSpan
 	}{
-		{"intra", []int{4, 5, 6, 7}, 4, NodeSpan{Ranks: 4, Nodes: 1, MaxPerNode: 4, MinPerNode: 4}},
-		{"inter", []int{0, 4, 8, 12}, 4, NodeSpan{Ranks: 4, Nodes: 4, MaxPerNode: 1, MinPerNode: 1}},
-		{"mixed balanced", []int{0, 1, 4, 5}, 4, NodeSpan{Ranks: 4, Nodes: 2, MaxPerNode: 2, MinPerNode: 2}},
-		{"mixed straddling", []int{2, 3, 4}, 4, NodeSpan{Ranks: 3, Nodes: 2, MaxPerNode: 2, MinPerNode: 1}},
-		{"singleton", []int{9}, 4, NodeSpan{Ranks: 1, Nodes: 1, MaxPerNode: 1, MinPerNode: 1}},
-		{"empty", nil, 4, NodeSpan{}},
+		{"intra", []int{4, 5, 6, 7}, twoLevel,
+			LevelSpan{Ranks: 4, Levels: []LevelStat{stat(1, 4, 4, 1), stat(1, 4, 1, 4)}}},
+		{"inter", []int{0, 4, 8, 12}, twoLevel,
+			LevelSpan{Ranks: 4, Levels: []LevelStat{stat(4, 1, 1, 1), stat(1, 4, 4, 1)}}},
+		{"mixed balanced", []int{0, 1, 4, 5}, twoLevel,
+			LevelSpan{Ranks: 4, Levels: []LevelStat{stat(2, 2, 2, 1), stat(1, 4, 2, 2)}}},
+		{"mixed straddling", []int{2, 3, 4}, twoLevel,
+			LevelSpan{Ranks: 3, Levels: []LevelStat{stat(2, 2, 2, 1), stat(1, 3, 2, 2)}}},
+		{"singleton", []int{9}, twoLevel,
+			LevelSpan{Ranks: 1, Levels: []LevelStat{stat(1, 1, 1, 1), stat(1, 1, 1, 1)}}},
+		{"empty", nil, twoLevel, LevelSpan{}},
+		// Three levels: 4-rank nodes inside 8-rank racks. Two ranks per
+		// node, two nodes per rack, both racks touched.
+		{"three level", []int{0, 1, 4, 5, 8, 9, 12, 13}, []int{4, 8, 0},
+			LevelSpan{Ranks: 8, Levels: []LevelStat{
+				stat(4, 2, 2, 1), stat(2, 4, 2, 2), stat(1, 8, 2, 4)}}},
 	}
 	for _, c := range cases {
-		if got := SpanOf(c.ranks, c.ppn); got != c.want {
-			t.Fatalf("%s: SpanOf(%v, %d) = %+v, want %+v", c.name, c.ranks, c.ppn, got, c.want)
+		if got := SpanOf(c.ranks, c.sizes); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("%s: SpanOf(%v, %v) = %+v, want %+v", c.name, c.ranks, c.sizes, got, c.want)
 		}
 	}
 }
 
-func TestSpanClassification(t *testing.T) {
-	if !(NodeSpan{Ranks: 4, Nodes: 1, MaxPerNode: 4, MinPerNode: 4}).Intra() {
-		t.Fatal("single-node span must classify Intra")
+func TestSpanActive(t *testing.T) {
+	// {0,1,4,5} on 4-rank nodes moves data at both levels; {4,5,6,7}
+	// only within its node; {0,4,8,12} only across nodes.
+	mixed := SpanOf([]int{0, 1, 4, 5}, []int{4, 0})
+	if !mixed.Active(0) || !mixed.Active(1) {
+		t.Fatal("straddling span must be active at both levels")
 	}
-	if !(NodeSpan{Ranks: 4, Nodes: 4, MaxPerNode: 1, MinPerNode: 1}).Inter() {
-		t.Fatal("one-rank-per-node span must classify Inter")
+	intra := SpanOf([]int{4, 5, 6, 7}, []int{4, 0})
+	if !intra.Active(0) || intra.Active(1) {
+		t.Fatal("single-node span must be active only at level 0")
 	}
-	mixed := NodeSpan{Ranks: 4, Nodes: 2, MaxPerNode: 2, MinPerNode: 2}
-	if mixed.Intra() || mixed.Inter() {
-		t.Fatal("straddling span must be neither Intra nor Inter")
+	inter := SpanOf([]int{0, 4, 8, 12}, []int{4, 0})
+	if inter.Active(0) || !inter.Active(1) {
+		t.Fatal("one-rank-per-node span must be active only at level 1")
 	}
 }
 
-// An 4×4 grid on 4-rank nodes: under RowMajor each row group is one node
+// A 4×4 grid on 4-rank nodes: under RowMajor each row group is one node
 // and each column group touches all nodes; ColMajor swaps the two.
 func TestGroupSpansAlignedGrid(t *testing.T) {
 	g := Grid{Pr: 4, Pc: 4}
-	const ppn = 4
+	sizes := []int{4, 0}
 
-	rows := g.RowGroupSpans(ppn, RowMajor)
-	if len(rows) != 1 || !rows[0].Intra() {
+	rows := g.RowGroupSpans(sizes, RowMajor)
+	if len(rows) != 1 || rows[0].Levels[0].Groups != 1 {
 		t.Fatalf("RowMajor row groups = %v, want one intra-node span", rows)
 	}
-	cols := g.ColGroupSpans(ppn, RowMajor)
-	if len(cols) != 1 || !cols[0].Inter() {
-		t.Fatalf("RowMajor col groups = %v, want one inter-node span", cols)
+	cols := g.ColGroupSpans(sizes, RowMajor)
+	if len(cols) != 1 || cols[0].Levels[0].MaxRanks != 1 {
+		t.Fatalf("RowMajor col groups = %v, want one one-rank-per-node span", cols)
 	}
 
-	rows = g.RowGroupSpans(ppn, ColMajor)
-	if len(rows) != 1 || !rows[0].Inter() {
-		t.Fatalf("ColMajor row groups = %v, want one inter-node span", rows)
+	rows = g.RowGroupSpans(sizes, ColMajor)
+	if len(rows) != 1 || rows[0].Levels[0].MaxRanks != 1 {
+		t.Fatalf("ColMajor row groups = %v, want one one-rank-per-node span", rows)
 	}
-	cols = g.ColGroupSpans(ppn, ColMajor)
-	if len(cols) != 1 || !cols[0].Intra() {
+	cols = g.ColGroupSpans(sizes, ColMajor)
+	if len(cols) != 1 || cols[0].Levels[0].Groups != 1 {
 		t.Fatalf("ColMajor col groups = %v, want one intra-node span", cols)
 	}
 }
@@ -110,76 +133,86 @@ func TestGroupSpansAlignedGrid(t *testing.T) {
 // nodes has one row group spanning 2 nodes with 4 ranks each.
 func TestGroupSpansMixed(t *testing.T) {
 	g := Grid{Pr: 1, Pc: 8}
-	spans := g.RowGroupSpans(4, RowMajor)
-	want := NodeSpan{Ranks: 8, Nodes: 2, MaxPerNode: 4, MinPerNode: 4}
-	if len(spans) != 1 || spans[0] != want {
+	spans := g.RowGroupSpans([]int{4, 0}, RowMajor)
+	want := LevelSpan{Ranks: 8, Levels: []LevelStat{stat(2, 4, 4, 1), stat(1, 8, 2, 4)}}
+	if len(spans) != 1 || !reflect.DeepEqual(spans[0], want) {
 		t.Fatalf("spans = %v, want [%+v]", spans, want)
 	}
 }
 
-// Misaligned groups (Pc does not divide ppn) produce distinct straddling
-// shapes; the dedupe must keep each shape once, deterministically sorted.
+// Misaligned groups (Pc does not divide the node size) produce distinct
+// straddling shapes; the dedupe must keep each shape once,
+// deterministically sorted.
 func TestGroupSpansMisaligned(t *testing.T) {
 	g := Grid{Pr: 2, Pc: 3} // P = 6 on 4-rank nodes
-	spans := g.RowGroupSpans(4, RowMajor)
+	spans := g.RowGroupSpans([]int{4, 0}, RowMajor)
 	// Row 0 = ranks {0,1,2} (one node); row 1 = ranks {3,4,5} (straddles).
-	want := []NodeSpan{
-		{Ranks: 3, Nodes: 1, MaxPerNode: 3, MinPerNode: 3},
-		{Ranks: 3, Nodes: 2, MaxPerNode: 2, MinPerNode: 1},
+	want := []LevelSpan{
+		{Ranks: 3, Levels: []LevelStat{stat(1, 3, 3, 1), stat(1, 3, 1, 3)}},
+		{Ranks: 3, Levels: []LevelStat{stat(2, 2, 2, 1), stat(1, 3, 2, 2)}},
 	}
-	if len(spans) != len(want) {
-		t.Fatalf("spans = %v, want %v", spans, want)
-	}
-	for i := range want {
-		if spans[i] != want[i] {
-			t.Fatalf("span[%d] = %+v, want %+v", i, spans[i], want[i])
-		}
+	if !reflect.DeepEqual(spans, want) {
+		t.Fatalf("spans = %+v, want %+v", spans, want)
 	}
 }
 
 func TestAllSpan(t *testing.T) {
 	cases := []struct {
-		g    Grid
-		ppn  int
-		want NodeSpan
+		g     Grid
+		sizes []int
+		want  LevelSpan
 	}{
-		{Grid{Pr: 2, Pc: 4}, 4, NodeSpan{Ranks: 8, Nodes: 2, MaxPerNode: 4, MinPerNode: 4}},
-		{Grid{Pr: 1, Pc: 6}, 4, NodeSpan{Ranks: 6, Nodes: 2, MaxPerNode: 4, MinPerNode: 2}},
-		{Grid{Pr: 1, Pc: 3}, 8, NodeSpan{Ranks: 3, Nodes: 1, MaxPerNode: 3, MinPerNode: 3}},
+		{Grid{Pr: 2, Pc: 4}, []int{4, 0},
+			LevelSpan{Ranks: 8, Levels: []LevelStat{stat(2, 4, 4, 1), stat(1, 8, 2, 4)}}},
+		{Grid{Pr: 1, Pc: 6}, []int{4, 0},
+			LevelSpan{Ranks: 6, Levels: []LevelStat{stat(2, 4, 4, 1), stat(1, 6, 2, 4)}}},
+		{Grid{Pr: 1, Pc: 3}, []int{8, 0},
+			LevelSpan{Ranks: 3, Levels: []LevelStat{stat(1, 3, 3, 1), stat(1, 3, 1, 3)}}},
 	}
 	for _, c := range cases {
-		if got := c.g.AllSpan(c.ppn); got != c.want {
-			t.Fatalf("%v.AllSpan(%d) = %+v, want %+v", c.g, c.ppn, got, c.want)
+		if got := c.g.AllSpan(c.sizes); !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("%v.AllSpan(%v) = %+v, want %+v", c.g, c.sizes, got, c.want)
 		}
 		// AllSpan must agree with classifying the literal rank list.
 		ranks := make([]int, c.g.P())
 		for i := range ranks {
 			ranks[i] = i
 		}
-		if got, want := SpanOf(ranks, c.ppn), c.g.AllSpan(c.ppn); got != want {
+		if got, want := SpanOf(ranks, c.sizes), c.g.AllSpan(c.sizes); !reflect.DeepEqual(got, want) {
 			t.Fatalf("SpanOf(0..P-1) = %+v disagrees with AllSpan %+v", got, want)
 		}
 	}
 }
 
-func TestColNeighborsIntra(t *testing.T) {
+func TestColNeighborsLevel(t *testing.T) {
 	// ColMajor keeps column neighbors adjacent in machine-rank space: a
 	// 4-high column fits on a 4-rank node.
 	g := Grid{Pr: 4, Pc: 2}
-	if !g.ColNeighborsIntra(4, ColMajor) {
-		t.Fatal("ColMajor 4-high columns on 4-rank nodes must be intra")
+	sizes := []int{4, 0}
+	if got := g.ColNeighborsLevel(sizes, ColMajor); got != 0 {
+		t.Fatalf("ColMajor 4-high columns on 4-rank nodes = level %d, want 0", got)
 	}
 	// RowMajor gives column neighbors stride Pc=2: ranks {0,2,4,6} cross
 	// the node boundary between 2 and 4.
-	if g.ColNeighborsIntra(4, RowMajor) {
-		t.Fatal("RowMajor strided columns must cross nodes")
+	if got := g.ColNeighborsLevel(sizes, RowMajor); got != 1 {
+		t.Fatalf("RowMajor strided columns = level %d, want 1", got)
 	}
 	// Pr = 1 has no neighbor pairs at all.
-	if !(Grid{Pr: 1, Pc: 8}).ColNeighborsIntra(4, RowMajor) {
-		t.Fatal("Pr=1 has no halo pairs, trivially intra")
+	if got := (Grid{Pr: 1, Pc: 8}).ColNeighborsLevel(sizes, RowMajor); got != 0 {
+		t.Fatalf("Pr=1 has no halo pairs, got level %d, want 0", got)
 	}
 	// A column taller than the node must cross somewhere even if packed.
-	if (Grid{Pr: 8, Pc: 1}).ColNeighborsIntra(4, ColMajor) {
-		t.Fatal("8-high packed column on 4-rank nodes must cross")
+	if got := (Grid{Pr: 8, Pc: 1}).ColNeighborsLevel(sizes, ColMajor); got != 1 {
+		t.Fatalf("8-high packed column on 4-rank nodes = level %d, want 1", got)
+	}
+	// Three levels (4-rank nodes, 8-rank racks): a 16-high packed column
+	// crosses a rack boundary between ranks 7 and 8.
+	if got := (Grid{Pr: 16, Pc: 1}).ColNeighborsLevel([]int{4, 8, 0}, ColMajor); got != 2 {
+		t.Fatalf("16-high packed column = level %d, want 2", got)
+	}
+	// An 8-high packed column stays within one rack: the worst crossing
+	// is the node boundary inside it.
+	if got := (Grid{Pr: 8, Pc: 1}).ColNeighborsLevel([]int{4, 8, 0}, ColMajor); got != 1 {
+		t.Fatalf("8-high packed column in one rack = level %d, want 1", got)
 	}
 }

@@ -312,8 +312,9 @@ func assignmentFor(net *nn.Network, B int, g grid.Grid, mode Mode, env costmodel
 // three placement classifications total, instead of re-running the
 // O(P) classification per layer.
 func autoAssignment(net *nn.Network, B int, g grid.Grid, env costmodel.Env) costmodel.Assignment {
-	perStrategy := map[costmodel.Strategy]*costmodel.Breakdown{}
-	for _, s := range []costmodel.Strategy{costmodel.Model, costmodel.Domain, costmodel.BatchOnly} {
+	var perStrategy [3]*costmodel.Breakdown
+	perStrategy[costmodel.Model] = env.FullIntegrated(net, B, g, nil) // nil defaults every layer to Model
+	for _, s := range []costmodel.Strategy{costmodel.Domain, costmodel.BatchOnly} {
 		perStrategy[s] = env.FullIntegrated(net, B, g, costmodel.UniformAssignment(net, s))
 	}
 	a := make(costmodel.Assignment)
@@ -324,7 +325,7 @@ func autoAssignment(net *nn.Network, B int, g grid.Grid, env costmodel.Env) cost
 			continue
 		}
 		cost := func(s costmodel.Strategy) float64 {
-			return perStrategy[s].Layers[k].Total().Total()
+			return perStrategy[s].Layers[k].TotalSeconds()
 		}
 		best, bestCost := costmodel.Model, cost(costmodel.Model)
 		if g.Pr <= l.In.H {

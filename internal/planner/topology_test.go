@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -40,8 +41,9 @@ func TestOptimizeFlatEquivalenceProperty(t *testing.T) {
 		}
 
 		topoOpts := opts
-		topoOpts.Topology = machine.Flat(opts.Machine)
-		topoOpts.Topology.RanksPerNode = 1 + rng.Intn(16)
+		link := machine.Link{Alpha: opts.Machine.Alpha, Beta: opts.Machine.Beta}
+		topoOpts.Topology = machine.TwoLevel(opts.Machine.Name, link, link,
+			1+rng.Intn(16), opts.Machine.PeakFlops)
 		uni, err := Optimize(net, B, P, topoOpts)
 		if err != nil {
 			t.Fatalf("uniform-topology Optimize: %v", err)
@@ -125,6 +127,83 @@ func TestTwoLevelTopologyShiftsChosenGrid(t *testing.T) {
 	}
 }
 
+// rackTaper is the three-level demo machine: Cori-KNL nodes (16 ranks,
+// 60 GB/s) under racks of 128 ranks (12 GB/s uplink) behind a spine at
+// 6 GB/s — a 10× bandwidth taper from node link to spine.
+func rackTaper() machine.Topology {
+	m := machine.CoriKNL()
+	return machine.Topology{
+		Name: "rack-taper",
+		Levels: []machine.Level{
+			{Name: "node", Link: machine.Link{Alpha: 5e-7, Beta: machine.WordBytes / 60e9}, GroupSize: 16},
+			{Name: "rack", Link: machine.Link{Alpha: 1e-6, Beta: machine.WordBytes / 12e9}, GroupSize: 128},
+			{Name: "spine", Link: machine.Link{Alpha: 2e-6, Beta: machine.WordBytes / 6e9}},
+		},
+		PeakFlops: m.PeakFlops,
+	}
+}
+
+// The three-level acceptance demo: the rack-taper hierarchy shifts the
+// best AlexNet grid and placement at P=512 away from the flat winner —
+// the same qualitative shift the two-level demo showed — and the best
+// plan carries a per-level cost attribution naming all three levels.
+// The winners are pinned from the probe run so a regression in the
+// recursive pricing shows up as a concrete grid change.
+func TestThreeLevelTopologyShiftsChosenGrid(t *testing.T) {
+	net := nn.AlexNet()
+	opts := DefaultOptions()
+	flat, err := Optimize(net, 2048, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.Topology = rackTaper()
+	topo, err := Optimize(net, 2048, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := flat.Best.Grid, (grid.Grid{Pr: 32, Pc: 16}); got != want {
+		t.Fatalf("flat best grid = %v, want %v", got, want)
+	}
+	if got, want := topo.Best.Grid, (grid.Grid{Pr: 16, Pc: 32}); got != want {
+		t.Fatalf("three-level best grid = %v, want %v", got, want)
+	}
+	if topo.Best.Placement != grid.ColMajor {
+		t.Fatalf("three-level best placement = %v, want col-major (column groups packed onto nodes)", topo.Best.Placement)
+	}
+	// The taper must actually price differently from the two-level Cori
+	// machine: the rack level carries real cost, not a pass-through.
+	two := opts
+	two.Topology = machine.CoriKNLNodes(16)
+	twoRes, err := Optimize(net, 2048, 512, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoRes.Best.IterSeconds == topo.Best.IterSeconds {
+		t.Fatal("three-level pricing is identical to two-level — the rack level priced nothing")
+	}
+	// Per-level attribution: all three levels named, and the level sums
+	// reproduce the plan's total communication.
+	bd := topo.Best.Breakdown
+	if bd == nil {
+		t.Fatal("best plan has no breakdown")
+	}
+	if got, want := fmt.Sprint(bd.LevelNames), "[node rack spine]"; got != want {
+		t.Fatalf("breakdown level names = %s, want %s", got, want)
+	}
+	var levelSum float64
+	for _, s := range bd.LevelSeconds() {
+		if s < 0 {
+			t.Fatalf("negative per-level attribution: %v", bd.LevelSeconds())
+		}
+		levelSum += s
+	}
+	if math.Abs(levelSum-topo.Best.CommSeconds) > 1e-12*math.Max(levelSum, 1) {
+		t.Fatalf("per-level attribution sums to %g, plan comm is %g", levelSum, topo.Best.CommSeconds)
+	}
+}
+
 // Constraining the placement search must be honored, and the reported
 // placement must match what the plan was priced under.
 func TestPlacementConstraint(t *testing.T) {
@@ -198,8 +277,8 @@ func TestTopologyTimelineScoring(t *testing.T) {
 func TestOptimizeRejectsBadTopology(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Topology = machine.CoriKNLNodes(8)
-	opts.Topology.RanksPerNode = 0
+	opts.Topology.Levels[0].GroupSize = 0
 	if _, err := Optimize(nn.AlexNet(), 256, 16, opts); err == nil {
-		t.Fatal("expected an error for RanksPerNode=0")
+		t.Fatal("expected an error for a zero inner group size")
 	}
 }

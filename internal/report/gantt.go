@@ -6,20 +6,30 @@ import (
 )
 
 // GanttSpan is one scheduled interval of a timeline chart. Lane selects
-// the glyph (lane 0 = compute '█', lane 1 = network '▒', lane 2 =
-// intra-node link '▓', lane 3 = inter-node link '░', further lanes
-// cycle); Label names the row. The cycling is deliberate: pipeline
-// schedules encode stage s's copy of base lane k as lane k + 4s
-// (timeline.StageResource), so every stage's compute pipe renders '█',
-// every stage's network lane '▒', and the micro-batch labels in Label
-// (e.g. "fwd conv1 µ3") distinguish the rows.
+// the glyph (lane 0 = compute '█', lane 1 = the flat network '▒',
+// lanes 2.. = the per-level link lanes '▓', '░', '▞', '▚', '▛', '▜' —
+// innermost level first; further lanes cycle); Label names the row. The
+// cycling is deliberate: pipeline schedules encode stage s's copy of
+// base lane k as lane k + 8s (timeline.StageResource), so every stage's
+// compute pipe renders '█', every stage's flat network lane '▒', and
+// the micro-batch labels in Label (e.g. "fwd conv1 µ3") distinguish the
+// rows.
 type GanttSpan struct {
 	Label      string
 	Lane       int
 	Start, End float64
 }
 
-var laneGlyphs = []rune{'█', '▒', '▓', '░'}
+// laneGlyphs has exactly one glyph per base lane of the timeline
+// resource encoding: compute, flat network, then the six per-level link
+// lanes (timeline.MaxNetworkLevels).
+var laneGlyphs = []rune{'█', '▒', '▓', '░', '▞', '▚', '▛', '▜'}
+
+// LaneGlyph returns the glyph Gantt draws for a lane index, for legends
+// that name the lanes a chart actually uses.
+func LaneGlyph(lane int) rune {
+	return laneGlyphs[((lane%len(laneGlyphs))+len(laneGlyphs))%len(laneGlyphs)]
+}
 
 // Gantt renders spans as a fixed-width text timeline, one row per span in
 // the given order:

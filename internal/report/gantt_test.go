@@ -53,14 +53,14 @@ func TestGanttEmpty(t *testing.T) {
 	}
 }
 
-// Staged lanes (pipeline schedules: lane k + 4s for stage s) cycle onto
+// Staged lanes (pipeline schedules: lane k + 8s for stage s) cycle onto
 // the base glyphs, so a multi-stage schedule renders every compute pipe
 // with '█' and every network lane with '▒'.
 func TestGanttStagedLanesCycleGlyphs(t *testing.T) {
 	out := Gantt("", []GanttSpan{
 		{Label: "fwd a µ0", Lane: 0, Start: 0, End: 1},
-		{Label: "fwd b µ0", Lane: 4, Start: 1, End: 2}, // stage 1 compute
-		{Label: "ag b µ0", Lane: 5, Start: 2, End: 3},  // stage 1 network
+		{Label: "fwd b µ0", Lane: 8, Start: 1, End: 2}, // stage 1 compute
+		{Label: "ag b µ0", Lane: 9, Start: 2, End: 3},  // stage 1 network
 	}, 30)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 3 {

@@ -1,8 +1,9 @@
 // Chrome trace-event export: a simulated timeline.Result rendered as
 // the JSON Object Format of the Trace Event specification, loadable in
 // Perfetto (https://ui.perfetto.dev) or chrome://tracing. Each pipeline
-// stage becomes one "process" row and each lane (compute, network,
-// net-intra, net-inter) one named "thread" track within it, so the
+// stage becomes one "process" row and each lane (compute, network, and
+// one track per topology link level, named after the level — net-node,
+// net-rack, …) one named "thread" track within it, so the
 // schedule reads exactly like the simulator models it: micro-batches
 // contending within a stage, stages running concurrently.
 package report
@@ -61,7 +62,7 @@ func ChromeTraceEvents(res *timeline.Result) []TraceEvent {
 				"micro":   s.Micro,
 				"layer":   s.Layer,
 				"kind":    s.Kind.String(),
-				"lane":    s.Resource.String(),
+				"lane":    res.LaneName(s.Resource.Base()),
 				"seconds": s.End - s.Start,
 			},
 		})
@@ -88,7 +89,7 @@ func ChromeTraceEvents(res *timeline.Result) []TraceEvent {
 		}
 		meta = append(meta, TraceEvent{
 			Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
-			Args: map[string]any{"name": seen[tr].Base().String()},
+			Args: map[string]any{"name": res.LaneName(seen[tr].Base())},
 		})
 	}
 	return append(meta, events...)

@@ -100,6 +100,82 @@ func TestChromeTraceSchema(t *testing.T) {
 	}
 }
 
+// TestChromeTraceLeveledTracks: a hierarchical schedule exports one
+// thread track per topology link level, with the track (and each
+// event's lane arg) named after the level — net-node, net-rack,
+// net-spine — and every per-level track monotone and non-overlapping,
+// because each link level is one contention lane in the simulator.
+func TestChromeTraceLeveledTracks(t *testing.T) {
+	names := []string{"node", "rack", "spine"}
+	layers := []timeline.Layer{
+		{Name: "conv1", FwdComp: 2e-3, BwdComp: 4e-3, GradReduce: 3e-3,
+			Levels: &timeline.LayerLevels{
+				Names:      names,
+				GradReduce: []float64{1e-3, 1e-3, 1e-3},
+			}},
+		{Name: "fc", FwdComp: 5e-4, BwdComp: 1e-3, AllGather: 6e-4, GradReduce: 9e-4,
+			Levels: &timeline.LayerLevels{
+				Names:      names,
+				AllGather:  []float64{1e-4, 2e-4, 3e-4},
+				GradReduce: []float64{4e-4, 0, 5e-4},
+			}},
+	}
+	res, err := timeline.SimulateLayers(layers, timeline.PolicyBackprop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := ChromeTraceEvents(res)
+
+	trackName := make(map[int]string)
+	byTrack := make(map[int][]TraceEvent)
+	for _, ev := range events {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				trackName[ev.Tid] = ev.Args["name"].(string)
+			}
+		case "X":
+			byTrack[ev.Tid] = append(byTrack[ev.Tid], ev)
+			if lane, ok := ev.Args["lane"].(string); !ok || lane != trackNameForEvent(t, res, ev) {
+				t.Errorf("event %q lane arg = %v, want %q", ev.Name, ev.Args["lane"], trackNameForEvent(t, res, ev))
+			}
+		}
+	}
+	// Every level the split touches gets its own named track; the flat
+	// Network lane must not appear at all.
+	want := map[string]bool{"compute": true, "net-node": true, "net-rack": true, "net-spine": true}
+	got := make(map[string]bool)
+	for tid := range byTrack {
+		got[trackName[tid]] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("no track named %q in %v", name, got)
+		}
+	}
+	if got["network"] {
+		t.Error("leveled schedule still exports the flat network track")
+	}
+	// Per-level tracks are monotone and non-overlapping.
+	const eps = 1e-6
+	for tid, evs := range byTrack {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+		for i := 1; i < len(evs); i++ {
+			prevEnd := evs[i-1].Ts + evs[i-1].Dur
+			if evs[i].Ts < prevEnd-eps {
+				t.Errorf("track %q: %q (ts=%g) overlaps %q (ends %g)",
+					trackName[tid], evs[i].Name, evs[i].Ts, evs[i-1].Name, prevEnd)
+			}
+		}
+	}
+}
+
+// trackNameForEvent recomputes the lane name an X event should carry.
+func trackNameForEvent(t *testing.T, res *timeline.Result, ev TraceEvent) string {
+	t.Helper()
+	return res.LaneName(timeline.Resource(ev.Tid))
+}
+
 // TestChromeTraceSingleIteration: the flat single-iteration simulator
 // (one stage, one micro-batch) exports with every event on pid 0 and a
 // separate thread track per lane.

@@ -93,18 +93,69 @@ func (m *MachineSpec) resolve() machine.Machine {
 	return out
 }
 
-// TopologySpec selects the two-level intra-/inter-node machine: ranks
-// are packed RanksPerNode per node, and the two link levels default to
-// the Cori two-level setting (machine.CoriKNLNodes). Mutually exclusive
-// with MachineSpec.
+// LevelSpec describes one link level of a hierarchical machine,
+// innermost first (level 0 is the node's internal link; the outermost
+// level is the unbounded top of the hierarchy).
+type LevelSpec struct {
+	// Name labels the level in reports and traces ("node", "rack",
+	// "spine"); Normalize fills "l<i>" when empty.
+	Name string `json:"name,omitempty"`
+	// AlphaSeconds is the per-message latency in seconds.
+	AlphaSeconds float64 `json:"alpha_seconds,omitempty"`
+	// BandwidthGBs is the link bandwidth in GB/s (required > 0).
+	BandwidthGBs float64 `json:"bandwidth_gbs,omitempty"`
+	// GroupRanks is the number of consecutive machine ranks one unit of
+	// this level hosts (ranks per node, per rack, …) — a strictly
+	// increasing multiple of the previous level's, and 0 on the
+	// outermost level only (unbounded).
+	GroupRanks int `json:"group_ranks,omitempty"`
+}
+
+// Default link levels for the two-level sugar spelling, matching
+// machine.CoriKNLNodes: shared memory within a node, Aries between.
+const (
+	defIntraAlpha, defIntraGBs = 5e-7, 60
+	defInterAlpha, defInterGBs = 2e-6, 6
+)
+
+// level materializes a LinkSpec (possibly nil) over the default values
+// into an explicit LevelSpec — the canonical form of the two-level
+// sugar.
+func (l *LinkSpec) level(name string, defAlpha, defGBs float64, group int) LevelSpec {
+	lv := LevelSpec{Name: name, AlphaSeconds: defAlpha, BandwidthGBs: defGBs, GroupRanks: group}
+	if l != nil {
+		if l.AlphaSeconds != 0 {
+			lv.AlphaSeconds = l.AlphaSeconds
+		}
+		if l.BandwidthGBs != 0 {
+			lv.BandwidthGBs = l.BandwidthGBs
+		}
+	}
+	return lv
+}
+
+// TopologySpec selects the hierarchical machine. The canonical spelling
+// is Levels — an innermost-first list of link levels of any depth (up
+// to machine.MaxLevels). The nodes/ranks_per_node/intra/inter fields
+// are the legacy two-level sugar: Normalize canonicalizes them onto the
+// equivalent two-level list ({node, cluster}, defaults from
+// machine.CoriKNLNodes), so both spellings of the same machine share
+// one canonical form — and one dnnserve cache entry. Mutually exclusive
+// with MachineSpec, and the two spellings are mutually exclusive with
+// each other.
 type TopologySpec struct {
-	// Nodes is the node count. When > 0 it must agree with the
-	// scenario's procs (procs = nodes × ranks_per_node); either field
-	// derives the other.
+	// Levels is the canonical spelling: one entry per link level,
+	// innermost first.
+	Levels []LevelSpec `json:"levels,omitempty"`
+
+	// Nodes is the node count (two-level sugar). When > 0 it must agree
+	// with the scenario's procs (procs = nodes × ranks_per_node);
+	// either field derives the other.
 	Nodes int `json:"nodes,omitempty"`
-	// RanksPerNode is the number of processes packed per node (≥ 1).
-	RanksPerNode int `json:"ranks_per_node"`
-	// Intra and Inter override the two link levels.
+	// RanksPerNode is the number of processes packed per node (≥ 1;
+	// two-level sugar).
+	RanksPerNode int `json:"ranks_per_node,omitempty"`
+	// Intra and Inter override the two link levels (two-level sugar).
 	Intra *LinkSpec `json:"intra,omitempty"`
 	Inter *LinkSpec `json:"inter,omitempty"`
 	// PeakTFlops overrides the per-process peak rate in TFLOP/s.
@@ -113,9 +164,41 @@ type TopologySpec struct {
 
 // resolve builds the machine.Topology.
 func (t *TopologySpec) resolve() machine.Topology {
+	base := machine.CoriKNL()
+	if len(t.Levels) > 0 {
+		topo := machine.Topology{PeakFlops: base.PeakFlops}
+		var sizes []string
+		for i, lv := range t.Levels {
+			name := lv.Name
+			if name == "" {
+				name = fmt.Sprintf("l%d", i)
+			}
+			topo.Levels = append(topo.Levels, machine.Level{
+				Name:      name,
+				Link:      machine.Link{Alpha: lv.AlphaSeconds, Beta: machine.WordBytes / (lv.BandwidthGBs * 1e9)},
+				GroupSize: lv.GroupRanks,
+			})
+			if i < len(t.Levels)-1 {
+				sizes = append(sizes, fmt.Sprintf("%d", lv.GroupRanks))
+			}
+		}
+		switch len(t.Levels) {
+		case 1:
+			topo.Name = base.Name
+		case 2:
+			// The name the two-level sugar has always resolved to.
+			topo.Name = fmt.Sprintf("%s-%dppn", base.Name, t.Levels[0].GroupRanks)
+		default:
+			topo.Name = fmt.Sprintf("%s-%s", base.Name, strings.Join(sizes, "x"))
+		}
+		if t.PeakTFlops != 0 {
+			topo.PeakFlops = t.PeakTFlops * 1e12
+		}
+		return topo
+	}
 	topo := machine.CoriKNLNodes(t.RanksPerNode)
-	topo.Intra = t.Intra.link(topo.Intra)
-	topo.Inter = t.Inter.link(topo.Inter)
+	topo.Levels[0].Link = t.Intra.link(topo.Levels[0].Link)
+	topo.Levels[1].Link = t.Inter.link(topo.Levels[1].Link)
 	if t.PeakTFlops != 0 {
 		topo.PeakFlops = t.PeakTFlops * 1e12
 	}
@@ -136,9 +219,9 @@ type Scenario struct {
 	DatasetN int `json:"dataset_n,omitempty"`
 
 	// Machine overrides the flat α–β platform; Topology switches to the
-	// two-level intra-/inter-node platform. Setting both is an error —
-	// a topology carries its own inter-node link, so there is nothing
-	// left for a flat machine to mean.
+	// hierarchical platform (a list of link levels: node, rack, …).
+	// Setting both is an error — a topology carries its own top-level
+	// link, so there is nothing left for a flat machine to mean.
 	Machine  *MachineSpec  `json:"machine,omitempty"`
 	Topology *TopologySpec `json:"topology,omitempty"`
 
@@ -242,13 +325,29 @@ func (s Scenario) Normalize() Scenario {
 	}
 	if out.Topology != nil {
 		t := *out.Topology
-		if t.RanksPerNode > 0 {
-			if t.Nodes == 0 && out.Procs > 0 && out.Procs%t.RanksPerNode == 0 {
-				t.Nodes = out.Procs / t.RanksPerNode
-			}
+		if len(t.Levels) == 0 && t.RanksPerNode > 0 &&
+			!(t.Nodes > 0 && out.Procs > 0 && out.Procs != t.Nodes*t.RanksPerNode) {
+			// Canonicalize the consistent two-level sugar onto the levels
+			// list: both spellings of one machine share one canonical
+			// form (and one plan-cache entry). Inconsistent sugar (a
+			// nodes×ranks_per_node/procs conflict) is left for Validate.
 			if out.Procs == 0 && t.Nodes > 0 {
 				out.Procs = t.Nodes * t.RanksPerNode
 			}
+			t.Levels = []LevelSpec{
+				t.Intra.level("node", defIntraAlpha, defIntraGBs, t.RanksPerNode),
+				t.Inter.level("cluster", defInterAlpha, defInterGBs, 0),
+			}
+			t.Nodes, t.RanksPerNode, t.Intra, t.Inter = 0, 0, nil, nil
+		}
+		if len(t.Levels) > 0 {
+			lv := append([]LevelSpec(nil), t.Levels...)
+			for i := range lv {
+				if lv[i].Name == "" {
+					lv[i].Name = fmt.Sprintf("l%d", i)
+				}
+			}
+			t.Levels = lv
 		}
 		out.Topology = &t
 	}
@@ -288,18 +387,35 @@ func (s Scenario) Validate() error {
 	}
 	if s.Topology != nil {
 		t := s.Topology
-		if t.RanksPerNode < 1 {
-			return invalid("topology.ranks_per_node", "need ≥ 1 rank per node, got %d", t.RanksPerNode)
-		}
-		if err := t.resolve().Validate(); err != nil {
-			return invalid("topology", "%v", err)
-		}
-		if t.Nodes < 0 {
-			return invalid("topology.nodes", "need a node count ≥ 0, got %d", t.Nodes)
-		}
-		if t.Nodes > 0 && s.Procs != t.Nodes*t.RanksPerNode {
-			return invalid("topology.nodes", "procs=%d conflicts with nodes %d × ranks_per_node %d = %d",
-				s.Procs, t.Nodes, t.RanksPerNode, t.Nodes*t.RanksPerNode)
+		if len(t.Levels) > 0 {
+			if t.RanksPerNode != 0 || t.Nodes != 0 || t.Intra != nil || t.Inter != nil {
+				return invalid("topology.levels", "levels replaces nodes/ranks_per_node/intra/inter; use one spelling only")
+			}
+			if len(t.Levels) > machine.MaxLevels {
+				return invalid("topology.levels", "%d levels exceed the %d-level cap", len(t.Levels), machine.MaxLevels)
+			}
+			for i, lv := range t.Levels {
+				if lv.BandwidthGBs <= 0 {
+					return invalid("topology.levels", "level %d (%s): need bandwidth_gbs > 0, got %g", i, lv.Name, lv.BandwidthGBs)
+				}
+			}
+			if err := t.resolve().Validate(); err != nil {
+				return invalid("topology", "%v", err)
+			}
+		} else {
+			if t.RanksPerNode < 1 {
+				return invalid("topology.ranks_per_node", "need ≥ 1 rank per node, got %d", t.RanksPerNode)
+			}
+			if err := t.resolve().Validate(); err != nil {
+				return invalid("topology", "%v", err)
+			}
+			if t.Nodes < 0 {
+				return invalid("topology.nodes", "need a node count ≥ 0, got %d", t.Nodes)
+			}
+			if t.Nodes > 0 && s.Procs != t.Nodes*t.RanksPerNode {
+				return invalid("topology.nodes", "procs=%d conflicts with nodes %d × ranks_per_node %d = %d",
+					s.Procs, t.Nodes, t.RanksPerNode, t.Nodes*t.RanksPerNode)
+			}
 		}
 	}
 	if _, err := s.Mode.MarshalText(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -156,11 +157,40 @@ func TestNormalize(t *testing.T) {
 	if n4 := s4.Normalize(); n4.Procs != 512 {
 		t.Errorf("procs not derived from topology: %d", n4.Procs)
 	}
+	// The two-level sugar canonicalizes onto the levels list, defaults
+	// materialized, sugar fields cleared.
 	s5 := Default()
 	s5.Procs = 512
 	s5.Topology = &TopologySpec{RanksPerNode: 16}
-	if n5 := s5.Normalize(); n5.Topology.Nodes != 32 {
-		t.Errorf("nodes not derived from procs: %d", n5.Topology.Nodes)
+	n5 := s5.Normalize()
+	if n5.Topology.RanksPerNode != 0 || n5.Topology.Nodes != 0 || n5.Topology.Intra != nil || n5.Topology.Inter != nil {
+		t.Errorf("sugar fields should canonicalize away: %+v", n5.Topology)
+	}
+	want5 := []LevelSpec{
+		{Name: "node", AlphaSeconds: 5e-7, BandwidthGBs: 60, GroupRanks: 16},
+		{Name: "cluster", AlphaSeconds: 2e-6, BandwidthGBs: 6},
+	}
+	if !reflect.DeepEqual(n5.Topology.Levels, want5) {
+		t.Errorf("canonical levels = %+v, want %+v", n5.Topology.Levels, want5)
+	}
+
+	// Inconsistent sugar is left alone for Validate to report.
+	s6 := Default()
+	s6.Procs = 512
+	s6.Topology = &TopologySpec{Nodes: 3, RanksPerNode: 16}
+	if n6 := s6.Normalize(); len(n6.Topology.Levels) != 0 || n6.Topology.Nodes != 3 {
+		t.Errorf("conflicting sugar must not canonicalize: %+v", n6.Topology)
+	}
+
+	// Empty level names fill positionally.
+	s7 := Default()
+	s7.Procs = 64
+	s7.Topology = &TopologySpec{Levels: []LevelSpec{
+		{AlphaSeconds: 5e-7, BandwidthGBs: 60, GroupRanks: 4},
+		{Name: "spine", AlphaSeconds: 2e-6, BandwidthGBs: 6},
+	}}
+	if n7 := s7.Normalize(); n7.Topology.Levels[0].Name != "l0" || n7.Topology.Levels[1].Name != "spine" {
+		t.Errorf("empty level names should fill as l<i>: %+v", n7.Topology.Levels)
 	}
 }
 
@@ -193,6 +223,29 @@ func TestCanonicalKey(t *testing.T) {
 	if bytes.Equal(ka, kc) {
 		t.Fatal("different scenarios share a canonical key")
 	}
+
+	// The two topology spellings of one machine share a canonical key:
+	// respelling a cached scenario must hit the same dnnserve entry.
+	sugar := Default()
+	sugar.Procs = 1024
+	sugar.Topology = &TopologySpec{Nodes: 64, RanksPerNode: 16}
+	levels := Default()
+	levels.Procs = 1024
+	levels.Topology = &TopologySpec{Levels: []LevelSpec{
+		{Name: "node", AlphaSeconds: 5e-7, BandwidthGBs: 60, GroupRanks: 16},
+		{Name: "cluster", AlphaSeconds: 2e-6, BandwidthGBs: 6},
+	}}
+	ks, err := sugar.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := levels.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ks, kl) {
+		t.Fatalf("topology respelling changed the canonical key:\n%s\n%s", ks, kl)
+	}
 }
 
 // TestValidateErrors drives every typed-error path and checks the field
@@ -218,6 +271,32 @@ func TestValidateErrors(t *testing.T) {
 		"nodes conflict": {func(s *Scenario) {
 			s.Topology = &TopologySpec{Nodes: 3, RanksPerNode: 16}
 		}, "topology.nodes"},
+		"mixed topology spellings": {func(s *Scenario) {
+			s.Topology = &TopologySpec{RanksPerNode: 16, Levels: []LevelSpec{
+				{AlphaSeconds: 1e-6, BandwidthGBs: 6},
+			}}
+		}, "topology.levels"},
+		"level without bandwidth": {func(s *Scenario) {
+			s.Topology = &TopologySpec{Levels: []LevelSpec{
+				{AlphaSeconds: 1e-6, GroupRanks: 4},
+				{AlphaSeconds: 1e-6, BandwidthGBs: 6},
+			}}
+		}, "topology.levels"},
+		"too many levels": {func(s *Scenario) {
+			lv := make([]LevelSpec, machine.MaxLevels+1)
+			for i := range lv {
+				lv[i] = LevelSpec{AlphaSeconds: 1e-6, BandwidthGBs: 6, GroupRanks: 1 << uint(i)}
+			}
+			lv[len(lv)-1].GroupRanks = 0
+			s.Topology = &TopologySpec{Levels: lv}
+		}, "topology.levels"},
+		"non-multiple level sizes": {func(s *Scenario) {
+			s.Topology = &TopologySpec{Levels: []LevelSpec{
+				{AlphaSeconds: 1e-6, BandwidthGBs: 60, GroupRanks: 4},
+				{AlphaSeconds: 1e-6, BandwidthGBs: 12, GroupRanks: 6},
+				{AlphaSeconds: 1e-6, BandwidthGBs: 6},
+			}}
+		}, "topology"},
 		"bad mode":       {func(s *Scenario) { s.Mode = planner.Mode(99) }, "mode"},
 		"bad policy":     {func(s *Scenario) { s.Policy = timeline.Policy(99) }, "policy"},
 		"bad schedule":   {func(s *Scenario) { s.Schedule = timeline.Shape(99) }, "schedule"},
@@ -311,14 +390,37 @@ func TestResolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r3.Options.Topology.IsZero() || r3.Options.Topology.RanksPerNode != 16 {
+	if r3.Options.Topology.IsZero() || r3.Options.Topology.RanksPerNode() != 16 {
 		t.Fatalf("topology not resolved: %+v", r3.Options.Topology)
 	}
 	if want := r3.Options.Topology.Machine(); r3.Options.Machine != want {
 		t.Errorf("flat machine view should derive from the topology: %+v vs %+v", r3.Options.Machine, want)
 	}
-	if r3.Options.Topology.Intra != machine.CoriKNLNodes(16).Intra {
-		t.Errorf("intra link should default to the Cori two-level setting")
+	if !reflect.DeepEqual(r3.Options.Topology, machine.CoriKNLNodes(16)) {
+		t.Errorf("canonicalized sugar should resolve to the Cori two-level setting bit for bit:\n%+v\n%+v",
+			r3.Options.Topology, machine.CoriKNLNodes(16))
+	}
+
+	// A hand-written three-level list resolves level by level.
+	s3l := Default()
+	s3l.Topology = &TopologySpec{Levels: []LevelSpec{
+		{Name: "node", AlphaSeconds: 5e-7, BandwidthGBs: 60, GroupRanks: 8},
+		{Name: "rack", AlphaSeconds: 1e-6, BandwidthGBs: 12, GroupRanks: 64},
+		{Name: "spine", AlphaSeconds: 2e-6, BandwidthGBs: 6},
+	}}
+	r3l, err := s3l.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := r3l.Options.Topology
+	if topo.Depth() != 3 || topo.Levels[1].Name != "rack" || topo.Levels[1].GroupSize != 64 {
+		t.Fatalf("three-level topology not resolved: %+v", topo)
+	}
+	if bw := topo.Levels[1].Link.BandwidthBytes(); math.Abs(bw-12e9) > 1 {
+		t.Fatalf("rack bandwidth = %g, want 12 GB/s", bw)
+	}
+	if topo.Uniform() {
+		t.Fatal("tapered three-level topology must not classify Uniform")
 	}
 
 	sg := Default()

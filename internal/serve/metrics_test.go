@@ -188,6 +188,46 @@ func TestSimulateTraceEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsLaneLabels: simulating a three-level scenario exposes the
+// per-lane busy-time series labeled by the topology's level names
+// (net-node, net-rack, net-spine) rather than the fixed intra/inter
+// pair, the flat network lane stays absent, and a cache hit does not
+// re-observe (the schedule was not rebuilt).
+func TestMetricsLaneLabels(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := scenarioJSON(t, dnnparallel.New("alexnet", 2048, 512,
+		dnnparallel.WithGrid(8, 64),
+		dnnparallel.WithLevels(
+			dnnparallel.LevelSpec{Name: "node", AlphaSeconds: 5e-7, BandwidthGBs: 60, GroupRanks: 16},
+			dnnparallel.LevelSpec{Name: "rack", AlphaSeconds: 1e-6, BandwidthGBs: 12, GroupRanks: 128},
+			dnnparallel.LevelSpec{Name: "spine", AlphaSeconds: 2e-6, BandwidthGBs: 6},
+		)))
+	if resp, data := post(t, ts.URL+"/v1/simulate", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate status %d: %s", resp.StatusCode, data)
+	}
+
+	text := getMetrics(t, ts.URL)
+	for _, lane := range []string{"compute", "net-node", "net-rack", "net-spine"} {
+		series := fmt.Sprintf(`dnnserve_sim_lane_busy_seconds_count{lane=%q}`, lane)
+		if got := metricValue(text, series); got != 1 {
+			t.Errorf("%s = %g, want 1", series, got)
+		}
+		if sum := metricValue(text, fmt.Sprintf(`dnnserve_sim_lane_busy_seconds_sum{lane=%q}`, lane)); sum <= 0 {
+			t.Errorf("lane %q busy sum = %g, want > 0", lane, sum)
+		}
+	}
+	if got := sumSeries(text, "dnnserve_sim_lane_busy_seconds_count", `lane="network"`); got != 0 {
+		t.Errorf("flat network lane observed %g times on a leveled schedule, want 0", got)
+	}
+
+	// A cache hit answers from bytes; no new schedule, no new samples.
+	post(t, ts.URL+"/v1/simulate", body)
+	text = getMetrics(t, ts.URL)
+	if got := metricValue(text, `dnnserve_sim_lane_busy_seconds_count{lane="compute"}`); got != 1 {
+		t.Errorf("compute lane count after cache hit = %g, want 1", got)
+	}
+}
+
 // TestMetricsConcurrentMonotone is the acceptance criterion's -race
 // load test: clients hammer /v1/plan while another client polls
 // /metrics. Every sampled exposition must be internally consistent

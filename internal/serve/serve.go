@@ -43,6 +43,7 @@ import (
 	"dnnparallel"
 	"dnnparallel/internal/obs"
 	"dnnparallel/internal/report"
+	"dnnparallel/internal/timeline"
 )
 
 // DefaultCacheSize bounds the plan cache when Config.CacheSize is 0.
@@ -69,6 +70,7 @@ type Server struct {
 	metrics  *obs.Registry
 	requests *obs.CounterVec   // dnnserve_requests_total{path,status}
 	latency  *obs.HistogramVec // dnnserve_request_seconds{path}
+	laneBusy *obs.HistogramVec // dnnserve_sim_lane_busy_seconds{lane}
 	inflight *obs.Gauge        // dnnserve_inflight_requests
 	reqID    atomic.Int64
 
@@ -93,6 +95,10 @@ func New(cfg Config) *Server {
 		"HTTP requests served, by endpoint and status code.", "path", "status")
 	s.latency = reg.NewHistogramVec("dnnserve_request_seconds",
 		"HTTP request latency in seconds, by endpoint.", nil, "path")
+	s.laneBusy = reg.NewHistogramVec("dnnserve_sim_lane_busy_seconds",
+		"Busy seconds per schedule lane of each simulated (uncached) schedule, "+
+			"labeled by the lane's display name: compute, network, or one "+
+			"net-<level> lane per topology link level.", nil, "lane")
 	s.inflight = reg.NewGauge("dnnserve_inflight_requests",
 		"Requests currently being served.")
 	s.cacheHits = reg.NewCounter("dnnserve_cache_hits_total",
@@ -120,6 +126,7 @@ func New(cfg Config) *Server {
 		if err != nil {
 			return nil, err
 		}
+		s.observeLanes(res.Raw)
 		if !traceRequested(r) {
 			return res, nil
 		}
@@ -144,6 +151,25 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // so embedding callers can register their own instruments beside the
 // built-in ones.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// observeLanes records one observation per schedule lane of a simulated
+// result: the lane's total busy seconds, labeled by the same display
+// name the Gantt legend and Chrome trace use — compute, network, or the
+// per-level net-<level> lanes of a hierarchical topology. Cache hits
+// skip it (no schedule was built), so the series counts planner work
+// actually done.
+func (s *Server) observeLanes(res *timeline.Result) {
+	if res == nil {
+		return
+	}
+	busy := make(map[string]float64)
+	for _, sp := range res.Spans {
+		busy[res.LaneName(sp.Resource.Base())] += sp.End - sp.Start
+	}
+	for lane, seconds := range busy {
+		s.laneBusy.With(lane).Observe(seconds)
+	}
+}
 
 // traceRequested reports whether the request asked for the Chrome-trace
 // response variant.

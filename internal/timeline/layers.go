@@ -80,30 +80,27 @@ func (p *Policy) UnmarshalText(text []byte) error {
 	return nil
 }
 
-// LinkCost splits one communication duration across the two link lanes
-// of a hierarchical machine: the intra-node portion runs on
-// NetworkIntra, the inter-node portion on NetworkInter, and within one
-// collective the inter-node phase follows the intra-node phase (the
-// hierarchical all-reduce's intra reduce-scatter feeds the inter
-// all-reduce; the trailing intra all-gather is folded into the intra
-// lane's busy time, which preserves each lane's load and the
-// collective's end-to-end duration).
-type LinkCost struct {
-	Intra, Inter float64
-}
-
-// Total returns the combined duration on both lanes.
-func (lc LinkCost) Total() float64 { return lc.Intra + lc.Inter }
-
-// LayerLevels carries the per-lane split of each communication field of
-// a Layer, produced by pricing the layer against a two-level
-// machine.Topology (collective.Cost.Intra/Inter).
+// LayerLevels carries the per-level split of each communication field
+// of a Layer, produced by pricing the layer against a hierarchical
+// machine.Topology (collective.Cost.Levels): entry i of each slice is
+// the seconds the collective spends on link level i, innermost first.
+// Within one collective the levels run in ascending order — level i+1's
+// phase consumes level i's result (the hierarchical all-reduce's
+// node-level reduce-scatter feeds the rack-level phase; each level's
+// trailing all-gather is folded into that level's busy time, which
+// preserves every lane's load and the collective's end-to-end
+// duration). Slices may be shorter than the topology depth (missing
+// tail levels carry no time) but never longer than MaxNetworkLevels.
 type LayerLevels struct {
-	AllGather, FwdHalo, ActReduce, GradReduce, BwdHalo LinkCost
+	// Names labels the levels for reports (innermost first); positional
+	// "net-l<i>" names are used where it is empty or short.
+	Names []string
+
+	AllGather, FwdHalo, ActReduce, GradReduce, BwdHalo []float64
 }
 
 // get returns the split for one communication kind.
-func (ll LayerLevels) get(k Kind) LinkCost {
+func (ll LayerLevels) get(k Kind) []float64 {
 	switch k {
 	case AllGather:
 		return ll.AllGather
@@ -136,10 +133,10 @@ type Layer struct {
 	BwdHalo    float64 // backward output halo exchange
 
 	// Levels, when non-nil, splits every communication field across the
-	// NetworkIntra/NetworkInter lanes of a two-level machine; each
-	// split must sum back to its flat field (validated). When nil all
-	// communication runs on the single Network lane — the flat-machine
-	// behavior, unchanged.
+	// per-level link lanes of a hierarchical machine (NetworkLevel(i));
+	// each split must sum back to its flat field (validated). When nil
+	// all communication runs on the single Network lane — the
+	// flat-machine behavior, unchanged.
 	Levels *LayerLevels
 }
 
@@ -185,14 +182,25 @@ func (l Layer) validate(i int) {
 	if l.Levels == nil {
 		return
 	}
+	if len(l.Levels.Names) > MaxNetworkLevels {
+		panic(fmt.Sprintf("timeline: layer %d (%s): %d level names exceed the %d-level lane set",
+			i, l.Name, len(l.Levels.Names), MaxNetworkLevels))
+	}
 	for _, k := range []Kind{AllGather, FwdHalo, ActReduce, GradReduce, BwdHalo} {
 		lv := l.Levels.get(k)
-		check(fmt.Sprintf("%v intra", k), lv.Intra)
-		check(fmt.Sprintf("%v inter", k), lv.Inter)
+		if len(lv) > MaxNetworkLevels {
+			panic(fmt.Sprintf("timeline: layer %d (%s): %v split has %d levels, exceeding the %d-level lane set",
+				i, l.Name, k, len(lv), MaxNetworkLevels))
+		}
+		sum := 0.0
+		for lvl, v := range lv {
+			check(fmt.Sprintf("%v level %d", k, lvl), v)
+			sum += v
+		}
 		flat := l.commDur(k)
-		if d := math.Abs(lv.Total() - flat); d > 1e-9*math.Max(flat, 1e-30) {
-			panic(fmt.Sprintf("timeline: layer %d (%s): %v level split %g+%g does not sum to flat duration %g",
-				i, l.Name, k, lv.Intra, lv.Inter, flat))
+		if d := math.Abs(sum - flat); d > 1e-9*math.Max(flat, 1e-30) {
+			panic(fmt.Sprintf("timeline: layer %d (%s): %v level split %v does not sum to flat duration %g",
+				i, l.Name, k, lv, flat))
 		}
 	}
 }
@@ -255,6 +263,28 @@ type Result struct {
 	PerResource []ResourceStats
 
 	PerLayer []LayerStats
+
+	// LevelNames labels the per-level link lanes (innermost first) when
+	// the simulated layers carried a hierarchical split; nil for flat
+	// schedules. LaneName uses it to render lanes by topology level.
+	LevelNames []string
+}
+
+// LaneName renders a lane like Resource.String but substitutes the
+// topology level's name ("net-node", "net-rack#2") for the positional
+// spelling when the result carries one.
+func (r *Result) LaneName(res Resource) string {
+	base := res.Base()
+	if base >= networkLevel0 {
+		if i := int(base - networkLevel0); i < len(r.LevelNames) && r.LevelNames[i] != "" {
+			name := "net-" + r.LevelNames[i]
+			if s := res.PipelineStage(); s > 0 {
+				return fmt.Sprintf("%s#%d", name, s)
+			}
+			return name
+		}
+	}
+	return res.String()
 }
 
 // SimulateLayers builds the event graph for the given overlap policy and
@@ -315,20 +345,30 @@ func buildEvents(layers []Layer, policy Policy) []Event {
 		return out
 	}
 	// comm emits one communication step: a single Network event on a flat
-	// layer, or an intra-lane event followed by a dependent inter-lane
-	// event when the layer carries a per-level split (the inter-node
-	// phase of a hierarchical collective consumes the intra-node
-	// phase's result). The returned handle completes when the whole
-	// step does.
+	// layer, or a chain of per-level lane events when the layer carries a
+	// per-level split — each level's phase consumes the previous active
+	// level's result (the hierarchical collective ascends the topology),
+	// so level i+1's event depends on level i's. The returned handle
+	// completes when the whole step does.
 	comm := func(layer int, kind Kind, deps []int) []int {
 		l := layers[layer]
 		if l.Levels == nil {
 			return add(layer, kind, Network, l.commDur(kind), deps)
 		}
-		lv := l.Levels.get(kind)
-		intra := add(layer, kind, NetworkIntra, lv.Intra, deps)
-		inter := add(layer, kind, NetworkInter, lv.Inter, union(deps, intra))
-		return union(intra, inter)
+		cur := deps
+		var done []int
+		for lvl, dur := range l.Levels.get(kind) {
+			if dur == 0 {
+				continue
+			}
+			ev := add(layer, kind, NetworkLevel(lvl), dur, cur)
+			done = union(done, ev)
+			cur = union(deps, ev)
+		}
+		if done == nil {
+			return deps
+		}
+		return done
 	}
 
 	L := len(layers)
@@ -390,6 +430,9 @@ func summarize(layers []Layer, policy Policy, spans []Span, microBatches, stages
 	r.PerLayer = make([]LayerStats, len(layers))
 	for i := range layers {
 		r.PerLayer[i].Name = layers[i].Name
+		if r.LevelNames == nil && layers[i].Levels != nil {
+			r.LevelNames = layers[i].Levels.Names
+		}
 	}
 	lastComputeEnd := 0.0
 	prevComputeEnd := make(map[Resource]float64) // per compute pipe
@@ -416,7 +459,7 @@ func summarize(layers []Layer, policy Policy, spans []Span, microBatches, stages
 				lastComputeEnd = s.End
 			}
 		} else {
-			// Every non-compute lane (Network, NetworkIntra, NetworkInter
+			// Every non-compute lane (Network, the per-level link lanes
 			// and their per-stage copies) is communication.
 			r.CommSeconds += s.Duration
 			st.CommSeconds += s.Duration

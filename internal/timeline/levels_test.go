@@ -6,7 +6,7 @@ import (
 )
 
 // A layer without Levels must schedule all communication on the single
-// Network lane; with Levels, only on the intra/inter lanes.
+// Network lane; with Levels, only on the per-level lanes.
 func TestLevelsSelectLanes(t *testing.T) {
 	flat := []Layer{{Name: "a", FwdComp: 1, AllGather: 2, BwdComp: 1, GradReduce: 3}}
 	r := mustSimulate(t, flat, PolicyBackprop)
@@ -19,8 +19,8 @@ func TestLevelsSelectLanes(t *testing.T) {
 	split := []Layer{{
 		Name: "a", FwdComp: 1, BwdComp: 1, AllGather: 2, GradReduce: 3,
 		Levels: &LayerLevels{
-			AllGather:  LinkCost{Intra: 0.5, Inter: 1.5},
-			GradReduce: LinkCost{Intra: 1, Inter: 2},
+			AllGather:  []float64{0.5, 1.5},
+			GradReduce: []float64{1, 2},
 		},
 	}}
 	r = mustSimulate(t, split, PolicyBackprop)
@@ -44,7 +44,7 @@ func TestLevelsSelectLanes(t *testing.T) {
 func TestLevelsIntraPrecedesInter(t *testing.T) {
 	layers := []Layer{{
 		Name: "a", FwdComp: 1, AllGather: 3,
-		Levels: &LayerLevels{AllGather: LinkCost{Intra: 1, Inter: 2}},
+		Levels: &LayerLevels{AllGather: []float64{1, 2}},
 	}}
 	r := mustSimulate(t, layers, PolicyBackprop)
 	var intra, inter Span
@@ -68,6 +68,94 @@ func TestLevelsIntraPrecedesInter(t *testing.T) {
 	}
 }
 
+// A three-level split chains node → rack → spine in ascending level
+// order, skipping levels that carry no time, and each phase runs on its
+// own lane.
+func TestLevelsThreeLevelChain(t *testing.T) {
+	layers := []Layer{{
+		Name: "a", FwdComp: 1, AllGather: 6, GradReduce: 2, BwdComp: 1,
+		Levels: &LayerLevels{
+			Names:      []string{"node", "rack", "spine"},
+			AllGather:  []float64{1, 2, 3},
+			GradReduce: []float64{0, 0, 2}, // spine-only collective
+		},
+	}}
+	r := mustSimulate(t, layers, PolicyBackprop)
+	var ag []Span
+	for _, s := range r.Spans {
+		if s.Kind == AllGather {
+			ag = append(ag, s)
+		}
+		if s.Kind == GradReduce && s.Resource != NetworkLevel(2) {
+			t.Fatalf("spine-only grad reduce landed on %v", s.Resource)
+		}
+	}
+	if len(ag) != 3 {
+		t.Fatalf("got %d all-gather phases, want 3", len(ag))
+	}
+	// fwd [0,1], then the chained phases: [1,2], [2,4], [4,7].
+	for i, want := range []struct {
+		res        Resource
+		start, end float64
+	}{
+		{NetworkLevel(0), 1, 2}, {NetworkLevel(1), 2, 4}, {NetworkLevel(2), 4, 7},
+	} {
+		if ag[i].Resource != want.res || !approx(ag[i].Start, want.start, 1e-12) || !approx(ag[i].End, want.end, 1e-12) {
+			t.Fatalf("phase %d = %v [%g,%g], want %v [%g,%g]",
+				i, ag[i].Resource, ag[i].Start, ag[i].End, want.res, want.start, want.end)
+		}
+	}
+	if want := []string{"node", "rack", "spine"}; len(r.LevelNames) != 3 ||
+		r.LevelNames[0] != want[0] || r.LevelNames[1] != want[1] || r.LevelNames[2] != want[2] {
+		t.Fatalf("LevelNames = %v, want %v", r.LevelNames, want)
+	}
+}
+
+// LaneName substitutes topology level names for the positional lane
+// spellings, falling back to Resource.String everywhere else.
+func TestLaneName(t *testing.T) {
+	r := &Result{LevelNames: []string{"node", "rack"}}
+	cases := []struct {
+		res  Resource
+		want string
+	}{
+		{Compute, "compute"},
+		{Network, "network"},
+		{NetworkLevel(0), "net-node"},
+		{NetworkLevel(1), "net-rack"},
+		{NetworkLevel(2), "net-l2"}, // beyond the named levels
+		{StageResource(NetworkLevel(1), 3), "net-rack#3"},
+		{StageResource(Compute, 2), "compute#2"},
+	}
+	for _, c := range cases {
+		if got := r.LaneName(c.res); got != c.want {
+			t.Fatalf("LaneName(%v) = %q, want %q", c.res, got, c.want)
+		}
+	}
+	flat := &Result{}
+	if got := flat.LaneName(NetworkIntra); got != "net-intra" {
+		t.Fatalf("unnamed LaneName(NetworkIntra) = %q, want net-intra", got)
+	}
+}
+
+// NetworkLevel rejects levels outside the reserved lane set.
+func TestNetworkLevelBounds(t *testing.T) {
+	if NetworkLevel(0) != NetworkIntra || NetworkLevel(1) != NetworkInter {
+		t.Fatalf("NetworkLevel(0,1) = %v,%v; want the intra/inter aliases",
+			NetworkLevel(0), NetworkLevel(1))
+	}
+	for _, bad := range []int{-1, MaxNetworkLevels} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NetworkLevel(%d): expected panic", bad)
+				}
+			}()
+			NetworkLevel(bad)
+		}()
+	}
+}
+
 // Two lanes genuinely overlap: an intra-only collective and an
 // inter-only collective issued together run concurrently, where the
 // single-lane model would serialize them.
@@ -76,8 +164,8 @@ func TestLanesContendIndependently(t *testing.T) {
 		l := Layer{Name: "a", FwdComp: 0.1, BwdComp: 0.1, ActReduce: 2, GradReduce: 2}
 		if split {
 			l.Levels = &LayerLevels{
-				ActReduce:  LinkCost{Intra: 2}, // e.g. a column group packed on one node
-				GradReduce: LinkCost{Inter: 2}, // a row group scattered across nodes
+				ActReduce:  []float64{2},    // e.g. a column group packed on one node
+				GradReduce: []float64{0, 2}, // a row group scattered across nodes
 			}
 		}
 		return []Layer{l}
@@ -100,8 +188,8 @@ func TestLevelsPolicyNoneSerializes(t *testing.T) {
 	layers := []Layer{{
 		Name: "a", FwdComp: 1, BwdComp: 2, AllGather: 3, GradReduce: 1,
 		Levels: &LayerLevels{
-			AllGather:  LinkCost{Intra: 1, Inter: 2},
-			GradReduce: LinkCost{Inter: 1},
+			AllGather:  []float64{1, 2},
+			GradReduce: []float64{0, 1},
 		},
 	}}
 	r := mustSimulate(t, layers, PolicyNone)
@@ -112,15 +200,19 @@ func TestLevelsPolicyNoneSerializes(t *testing.T) {
 
 // Inconsistent splits fail loudly.
 func TestLevelsValidation(t *testing.T) {
+	deep := make([]float64, MaxNetworkLevels+1)
+	deep[MaxNetworkLevels] = 1
 	cases := map[string]Layer{
 		"sum mismatch": {Name: "x", AllGather: 3,
-			Levels: &LayerLevels{AllGather: LinkCost{Intra: 1, Inter: 1}}},
+			Levels: &LayerLevels{AllGather: []float64{1, 1}}},
 		"negative portion": {Name: "x", AllGather: 1,
-			Levels: &LayerLevels{AllGather: LinkCost{Intra: 2, Inter: -1}}},
+			Levels: &LayerLevels{AllGather: []float64{2, -1}}},
 		"NaN portion": {Name: "x", AllGather: 1,
-			Levels: &LayerLevels{AllGather: LinkCost{Intra: math.NaN(), Inter: 1}}},
+			Levels: &LayerLevels{AllGather: []float64{math.NaN(), 1}}},
 		"split without flat": {Name: "x",
-			Levels: &LayerLevels{GradReduce: LinkCost{Intra: 1}}},
+			Levels: &LayerLevels{GradReduce: []float64{1}}},
+		"too deep": {Name: "x", AllGather: 1,
+			Levels: &LayerLevels{AllGather: deep}},
 	}
 	for name, layer := range cases {
 		t.Run(name, func(t *testing.T) {

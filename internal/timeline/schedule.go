@@ -226,10 +226,20 @@ func buildPipelineEvents(layers []Layer, policy Policy, sched Schedule) []Event 
 		if l.Levels == nil {
 			return add(micro, layer, kind, StageResource(Network, st), l.commDur(kind), deps)
 		}
-		lv := l.Levels.get(kind)
-		intra := add(micro, layer, kind, StageResource(NetworkIntra, st), lv.Intra, deps)
-		inter := add(micro, layer, kind, StageResource(NetworkInter, st), lv.Inter, union(deps, intra))
-		return union(intra, inter)
+		cur := deps
+		var done []int
+		for lvl, dur := range l.Levels.get(kind) {
+			if dur == 0 {
+				continue
+			}
+			ev := add(micro, layer, kind, StageResource(NetworkLevel(lvl), st), dur, cur)
+			done = union(done, ev)
+			cur = union(deps, ev)
+		}
+		if done == nil {
+			return deps
+		}
+		return done
 	}
 
 	fwdDone := make([][][]int, M) // [micro][layer] forward-compute handle

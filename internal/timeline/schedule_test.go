@@ -211,11 +211,10 @@ func TestPipelineFlushSingleGradReduce(t *testing.T) {
 					want = 1
 					if l.Levels != nil {
 						want = 0
-						if l.Levels.GradReduce.Intra > 0 {
-							want++
-						}
-						if l.Levels.GradReduce.Inter > 0 {
-							want++
+						for _, dur := range l.Levels.GradReduce {
+							if dur > 0 {
+								want++
+							}
 						}
 					}
 				}

@@ -73,11 +73,19 @@ func randomLayers(rng *rand.Rand, n int, split bool) []Layer {
 			AllGather: d(), FwdHalo: d(), ActReduce: d(), GradReduce: d(), BwdHalo: d(),
 		}
 		if split {
+			depth := 2 + rng.Intn(MaxNetworkLevels-1)
 			lv := &LayerLevels{}
 			for _, k := range []Kind{AllGather, FwdHalo, ActReduce, GradReduce, BwdHalo} {
 				flat := layers[i].commDur(k)
-				f := rng.Float64()
-				lc := LinkCost{Intra: flat * f, Inter: flat * (1 - f)}
+				// Random non-negative split that sums back to flat exactly:
+				// the last level takes the remainder.
+				lc := make([]float64, depth)
+				rest := flat
+				for l := 0; l < depth-1; l++ {
+					lc[l] = rest * rng.Float64()
+					rest -= lc[l]
+				}
+				lc[depth-1] = rest
 				switch k {
 				case AllGather:
 					lv.AllGather = lc

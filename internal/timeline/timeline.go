@@ -34,11 +34,13 @@ import (
 
 // Resource is an execution lane. On the paper's flat α–β machine the
 // model has one compute pipe and one network link per process; on a
-// two-level machine.Topology the single link splits into an intra-node
-// and an inter-node lane, so collectives on the two levels contend
-// realistically — an intra-node all-reduce does not queue behind an
-// inter-node one. The scheduler serializes each lane independently and
-// accepts any Resource values that appear in the event list.
+// hierarchical machine.Topology the single link splits into one lane
+// per link level (node, rack, spine, …), so collectives on different
+// levels contend realistically — an intra-node all-reduce does not
+// queue behind a rack-uplink one, and a rack uplink can be the
+// bottleneck while the node links idle. The scheduler serializes each
+// lane independently and accepts any Resource values that appear in
+// the event list.
 //
 // A pipeline schedule (SimulatePipeline) replicates the whole lane set
 // per pipeline stage: stage s's lanes are StageResource(base, s), so
@@ -48,21 +50,42 @@ import (
 // single-stage schedules bit-identical to the single-iteration ones.
 type Resource int
 
+// MaxNetworkLevels is the number of per-level link lanes reserved in
+// the base lane set — it mirrors machine.MaxLevels, the depth cap of a
+// hierarchical topology.
+const MaxNetworkLevels = 6
+
 const (
 	Compute Resource = iota
 	// Network is the single link of a flat machine. Layers without a
 	// per-level split schedule all communication here.
 	Network
-	// NetworkIntra and NetworkInter are the two lanes of a hierarchical
-	// machine; layers carrying a Levels split schedule each portion of a
-	// collective on its own lane.
-	NetworkIntra
-	NetworkInter
+	// networkLevel0 is the first of the MaxNetworkLevels per-level link
+	// lanes; layers carrying a Levels split schedule each portion of a
+	// collective on the lane of its level (NetworkLevel).
+	networkLevel0
 
 	// numBaseResources is the stride of the per-stage resource encoding:
 	// stage s's copy of a base lane is base + s·numBaseResources.
-	numBaseResources
+	numBaseResources = networkLevel0 + MaxNetworkLevels
 )
+
+// NetworkIntra and NetworkInter are the innermost two level lanes — the
+// node and cluster levels of the two-level node/cluster topology that
+// used to be the only hierarchical shape.
+const (
+	NetworkIntra = networkLevel0
+	NetworkInter = networkLevel0 + 1
+)
+
+// NetworkLevel returns the link lane of hierarchy level i (innermost
+// first, matching machine.Topology.Levels order).
+func NetworkLevel(i int) Resource {
+	if i < 0 || i >= MaxNetworkLevels {
+		panic(fmt.Sprintf("timeline: network level %d outside [0,%d)", i, MaxNetworkLevels))
+	}
+	return networkLevel0 + Resource(i)
+}
 
 // StageResource returns pipeline stage s's copy of a base lane.
 // StageResource(base, 0) == base.
@@ -88,7 +111,7 @@ func (r Resource) String() string {
 		return fmt.Sprintf("Resource(%d)", int(r))
 	}
 	var name string
-	switch r.Base() {
+	switch base := r.Base(); base {
 	case Compute:
 		name = "compute"
 	case Network:
@@ -98,7 +121,7 @@ func (r Resource) String() string {
 	case NetworkInter:
 		name = "net-inter"
 	default:
-		return fmt.Sprintf("Resource(%d)", int(r))
+		name = fmt.Sprintf("net-l%d", int(base-networkLevel0))
 	}
 	if s := r.PipelineStage(); s > 0 {
 		return fmt.Sprintf("%s#%d", name, s)

@@ -20,6 +20,37 @@ func BenchmarkPlanScenario(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanScenarioTwoLevel prices the same search against the
+// two-level Cori topology: the hierarchical recursion plus the
+// placement search (row- and col-major) on top of the flat benchmark,
+// so the refactor's cost on the hot loop is recorded, not guessed.
+func BenchmarkPlanScenarioTwoLevel(b *testing.B) {
+	sc := New("alexnet", 2048, 512, WithTopology(32, 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanScenarioThreeLevel deepens the hierarchy to three link
+// levels (node/rack/spine with a bandwidth taper): the marginal cost of
+// one more recursion level per collective.
+func BenchmarkPlanScenarioThreeLevel(b *testing.B) {
+	sc := New("alexnet", 2048, 512, WithLevels(
+		LevelSpec{Name: "node", AlphaSeconds: 5e-7, BandwidthGBs: 60, GroupRanks: 16},
+		LevelSpec{Name: "rack", AlphaSeconds: 1e-6, BandwidthGBs: 12, GroupRanks: 128},
+		LevelSpec{Name: "spine", AlphaSeconds: 2e-6, BandwidthGBs: 6},
+	))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPlanScenarioPipeline adds the expensive dimensions — timeline
 // scoring and a micro-batch search — the worst realistic /v1/plan miss.
 func BenchmarkPlanScenarioPipeline(b *testing.B) {
