@@ -47,6 +47,10 @@ type (
 	LevelSpec = scenario.LevelSpec
 	// LinkSpec overrides one α–β link level of the two-level sugar.
 	LinkSpec = scenario.LinkSpec
+	// PipelineSpec configures stage-partitioned pipeline planning.
+	PipelineSpec = scenario.PipelineSpec
+	// PartitionSpec selects the stage partition: "auto" or explicit cuts.
+	PartitionSpec = scenario.PartitionSpec
 	// ValidationError is returned for every malformed scenario.
 	ValidationError = scenario.ValidationError
 
@@ -168,9 +172,35 @@ func WithMicroBatches(shape Shape, ms ...int) Option {
 	return func(s *Scenario) { s.Schedule = shape; s.MicroBatches = ms }
 }
 
-// WithPipelineStages sets the pipeline stage count S (0 ⇒ 1).
+// WithPipelineStages sets the pipeline stage count S (0 ⇒ 1) — the
+// legacy sugar spelling; Normalize canonicalizes it onto the Pipeline
+// block. Equivalent to WithStages.
 func WithPipelineStages(stages int) Option {
 	return func(s *Scenario) { s.PipelineStages = stages }
+}
+
+// WithStages splits the network into S contiguous pipeline stages, each
+// on its own P/S-sized grid, and co-searches the layer partition with
+// the per-stage grids (stage boundaries priced against the topology
+// level they cross). S ≤ 1 keeps the single-stage search.
+func WithStages(stages int) Option {
+	return func(s *Scenario) {
+		s.PipelineStages = 0
+		s.Pipeline = &PipelineSpec{Stages: stages}
+	}
+}
+
+// WithPartition pins the stage boundaries: cut positions into the
+// weighted-layer list (strictly increasing, in (0, L)). The stage count
+// is implied: len(cuts)+1.
+func WithPartition(cuts ...int) Option {
+	return func(s *Scenario) {
+		s.PipelineStages = 0
+		s.Pipeline = &PipelineSpec{
+			Stages:    len(cuts) + 1,
+			Partition: &PartitionSpec{Cuts: cuts},
+		}
+	}
 }
 
 // WithMemoryLimit rejects plans whose per-process footprint exceeds the

@@ -10,6 +10,7 @@ import (
 	"dnnparallel"
 	"dnnparallel/internal/nn"
 	"dnnparallel/internal/planner"
+	"dnnparallel/internal/timeline"
 )
 
 func scenarioPath(name string) string {
@@ -153,6 +154,48 @@ func TestPlanLevelsFlag(t *testing.T) {
 	}
 	if !strings.Contains(out, "net-node") {
 		t.Fatalf("gantt legend does not name the per-level lanes:\n%s", out)
+	}
+}
+
+// TestPlanStagesFlag drives the stage-partitioned search end to end from
+// the command line: -stages grows the per-stage table, -partition pins
+// the cuts, and the flag spelling matches the config-file spelling
+// byte for byte.
+func TestPlanStagesFlag(t *testing.T) {
+	out, errOut, code := runPlan(t, "-P", "64", "-policy", "backprop", "-micro", "1,2", "-stages", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "Per-stage partition of the best plan (S=2") {
+		t.Fatalf("-stages output missing the per-stage table:\n%s", out)
+	}
+	for _, col := range []string{"rank0", "stash GB", "boundary"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("per-stage table missing the %q column:\n%s", col, out)
+		}
+	}
+
+	pinned, errOut, code := runPlan(t, "-P", "64", "-policy", "backprop", "-micro", "1,2", "-partition", "6")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(pinned, "cuts [6]") {
+		t.Fatalf("-partition did not pin the cut:\n%s", pinned)
+	}
+
+	// The flag spelling and the scenario-file spelling agree.
+	sc := dnnparallel.DefaultScenario()
+	sc.Procs = 64
+	sc.Timeline = true
+	sc.Policy = timeline.PolicyBackprop
+	sc.MicroBatches = []int{1, 2}
+	sc.Pipeline = &dnnparallel.PipelineSpec{Stages: 2}
+	res, err := dnnparallel.Plan(sc.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := RenderPlan(res, false); out != want {
+		t.Fatalf("flag and API spellings disagree:\n--- CLI ---\n%s--- API ---\n%s", out, want)
 	}
 }
 

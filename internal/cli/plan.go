@@ -80,6 +80,8 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	policyName := fs.String("policy", "", "score with the per-layer event-driven timeline under this overlap policy: none|backprop|full (overrides -overlap)")
 	microList := fs.String("micro", "", "comma-separated micro-batch counts to search per grid (entries > 1 enable timeline scoring)")
 	scheduleName := fs.String("schedule", "", "pipeline schedule shape for -micro: gpipe|1f1b (default gpipe)")
+	stages := fs.Int("stages", 0, "pipeline stage count S; > 1 partitions the network into S contiguous stages, each on its own P/S-rank grid, and co-searches the layer cuts (enables timeline scoring)")
+	partition := fs.String("partition", "", `pipeline layer partition: "auto" (search the cuts) or comma-separated cut positions into the weighted-layer list, e.g. "6" splits before the 7th weighted layer`)
 	gantt := fs.Bool("gantt", false, "print the best plan's per-layer schedule (needs timeline scoring)")
 	stats := fs.Bool("stats", false, "print the planner's search telemetry (candidates enumerated/pruned/priced, best-cost trajectory, phase wall times)")
 	gridName := fs.String("grid", "", "pin one PrxPc factorization instead of searching (e.g. 8x64)")
@@ -149,6 +151,10 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	if set["grid"] {
 		sc.Grid = *gridName
 	}
+	if err := applyPipelineFlags(&sc, set, *stages, *partition); err != nil {
+		fmt.Fprintln(stderr, "dnnplan:", err)
+		return 2
+	}
 	if err := applyTopologyFlags(&sc, set, topoFlags{
 		ppn: *ppn, nodes: *nodes,
 		alpha: *alpha, bwGB: *bwGB,
@@ -191,6 +197,39 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// applyPipelineFlags lowers -stages/-partition onto the scenario's
+// pipeline block, folding the legacy pipeline_stages sugar into the
+// block first so a flag can override a config file using either
+// spelling.
+func applyPipelineFlags(sc *dnnparallel.Scenario, set map[string]bool, stages int, partition string) error {
+	if !set["stages"] && !set["partition"] {
+		return nil
+	}
+	p := &dnnparallel.PipelineSpec{}
+	if sc.Pipeline != nil {
+		*p = *sc.Pipeline
+	} else if sc.PipelineStages > 1 {
+		p.Stages = sc.PipelineStages
+	}
+	sc.PipelineStages = 0
+	if set["stages"] {
+		p.Stages = stages
+	}
+	if set["partition"] {
+		if s := strings.TrimSpace(partition); s == "auto" {
+			p.Partition = &dnnparallel.PartitionSpec{Auto: true}
+		} else {
+			cuts, err := parseIntList(s, "partition cut")
+			if err != nil {
+				return err
+			}
+			p.Partition = &dnnparallel.PartitionSpec{Cuts: cuts}
+		}
+	}
+	sc.Pipeline = p
+	return nil
 }
 
 // topoFlags bundles the link/topology flag values for applyTopologyFlags.
@@ -309,6 +348,39 @@ func applyTopologyFlags(sc *dnnparallel.Scenario, set map[string]bool, f topoFla
 	return nil
 }
 
+// StageTable renders the per-stage rows of a stage-partitioned plan:
+// each stage's layer slice, grid and rank block, parameter and compute
+// load, activation stash, and the activation handoff it receives —
+// volume, cost, and the topology link the cut crosses.
+func StageTable(stages []dnnparallel.StageSummary) string {
+	var rows [][]string
+	for _, st := range stages {
+		boundary, link := "-", "-"
+		if st.BoundaryBytes > 0 {
+			boundary = fmt.Sprintf("%.4g MB", st.BoundaryBytes/1e6)
+			if st.BoundaryLevel != "" {
+				link = st.BoundaryLevel
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", st.Stage),
+			st.Layers,
+			fmt.Sprintf("%d", st.LayerCount),
+			st.Grid,
+			fmt.Sprintf("%d", st.RankOffset),
+			fmt.Sprintf("%.4g", st.ParamWords),
+			report.F(st.CompSeconds),
+			report.F(st.CommSeconds),
+			fmt.Sprintf("%.2f", st.StashBytes/1e9),
+			boundary,
+			link,
+		})
+	}
+	return report.Table(
+		[]string{"Stage", "Layers", "n", "grid", "rank0", "params", "comp s/µb", "comm s/µb", "stash GB", "boundary", "link"},
+		rows)
+}
+
 // RenderPlan renders a PlanResult exactly as the dnnplan CLI prints it.
 // PlanMain calls this on the façade's output, so CLI text and API result
 // cannot disagree.
@@ -368,6 +440,11 @@ func RenderPlan(res *dnnparallel.PlanResult, gantt bool) string {
 	if microSearch {
 		fmt.Fprintf(&b, "\nBest plan schedule: %v, M=%d micro-batches (bubble %.1f%%)\n",
 			res.Best.Schedule, res.Best.MicroBatch, 100*res.Best.BubbleFraction)
+	}
+	if len(res.Best.PerStage) > 0 {
+		fmt.Fprintf(&b, "\nPer-stage partition of the best plan (S=%d, cuts %v, per-stage grid %s):\n",
+			res.Best.Stages, res.Best.Partition, res.Best.Grid)
+		b.WriteString(StageTable(res.Best.PerStage))
 	}
 
 	if res.SpeedupTotal > 0 {

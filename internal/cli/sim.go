@@ -33,6 +33,8 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	policy := fs.String("policy", "backprop", "overlap policy for -exp timeline/pipeline: none|backprop|full")
 	micro := fs.String("micro", "1,2,4,8,16,32", "comma-separated micro-batch counts for -exp pipeline")
 	schedule := fs.String("schedule", "gpipe", "pipeline schedule shape for -exp pipeline: gpipe|1f1b")
+	stages := fs.Int("stages", 0, "pipeline stage count S for -trace; > 1 partitions the network into S contiguous stages, each on its own grid (the pinned grid is per-stage)")
+	partition := fs.String("partition", "", `pipeline layer partition for -trace: "auto" or comma-separated cut positions into the weighted-layer list`)
 	trace := fs.String("trace", "", "write the scenario's simulated schedule as Chrome trace-event JSON to this file (needs a pinned grid; open in https://ui.perfetto.dev) and exit")
 	calibrate := fs.Bool("calibrate", false, "measure THIS host's GEMM throughput and use it as the compute model (the paper's empirical methodology)")
 	ppn := fs.Int("ppn", 0, "ranks per node; > 0 prices the planner-backed experiments against the two-level Cori topology")
@@ -104,6 +106,10 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		}
 		sc.MicroBatches = ms
 	}
+	if err := applyPipelineFlags(&sc, set, *stages, *partition); err != nil {
+		fmt.Fprintln(stderr, "dnnsim:", err)
+		return 2
+	}
 	sc = sc.Normalize()
 	if *trace != "" {
 		// Trace export is a different product: simulate the pinned
@@ -129,6 +135,11 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote Chrome trace for %s grid %s (%d spans, makespan %ss) to %s — open in https://ui.perfetto.dev\n",
 			res.Network, res.Config.Grid, len(res.Raw.Spans), report.F(res.Makespan), *trace)
+		if len(res.Config.PerStage) > 0 {
+			fmt.Fprintf(stdout, "\nPer-stage partition (S=%d, cuts %v, per-stage grid %s):\n",
+				res.Config.Stages, res.Config.Partition, res.Config.Grid)
+			fmt.Fprint(stdout, StageTable(res.Config.PerStage))
+		}
 		return 0
 	}
 	// The experiments sweep P themselves (and ignore any pinned grid);

@@ -123,6 +123,31 @@ type LayerTime struct {
 	Bwd   float64 // ∆X + ∆W GEMM seconds plus the layer's weight-update share
 }
 
+// GridLayerTime returns the forward/backward compute split of one
+// weighted layer at batch B on a Pr × Pc grid — the per-layer term of
+// GridLayerTimes, exposed so stage-partitioned pricing can compute each
+// layer's time on its own stage's grid with identical arithmetic.
+func (c Model) GridLayerTime(l *nn.Layer, index, B int, g grid.Grid) LayerTime {
+	localB := float64(B) / float64(g.Pc)
+	scale := float64(B) / float64(g.P())
+	fwd := c.GEMMTime(l.ForwardFLOPsPerSample()*scale, localB)
+	return LayerTime{
+		Index: index,
+		Name:  l.Name,
+		Fwd:   fwd,
+		Bwd:   2*fwd + c.UpdateTime(float64(l.Weights())/float64(g.Pr)),
+	}
+}
+
+// GridUnweightedTime returns the compute of one unweighted layer
+// (pooling etc.) at batch B on a Pr × Pc grid — the per-layer term of
+// GridLayerTimes' residual overhead.
+func (c Model) GridUnweightedTime(l *nn.Layer, B int, g grid.Grid) float64 {
+	localB := float64(B) / float64(g.Pc)
+	scale := float64(B) / float64(g.P())
+	return c.GEMMTime(l.TrainFLOPsPerSample()*scale, localB)
+}
+
 // GridLayerTimes splits GridIterTime into per-weighted-layer forward and
 // backward compute times for the same Pr × Pc grid, plus a residual
 // overhead (the fixed per-iteration framework cost and the compute of
@@ -130,23 +155,14 @@ type LayerTime struct {
 // layer. The sum of all layer times plus the overhead equals GridIterTime
 // up to floating-point association.
 func (c Model) GridLayerTimes(net *nn.Network, B int, g grid.Grid) (times []LayerTime, overhead float64) {
-	localB := float64(B) / float64(g.Pc)
-	scale := float64(B) / float64(g.P())
 	for _, li := range net.WeightedLayers() {
-		l := &net.Layers[li]
-		fwd := c.GEMMTime(l.ForwardFLOPsPerSample()*scale, localB)
-		times = append(times, LayerTime{
-			Index: li,
-			Name:  l.Name,
-			Fwd:   fwd,
-			Bwd:   2*fwd + c.UpdateTime(float64(l.Weights())/float64(g.Pr)),
-		})
+		times = append(times, c.GridLayerTime(&net.Layers[li], li, B, g))
 	}
 	overhead = c.FixedIter
 	for i := range net.Layers {
 		l := &net.Layers[i]
 		if !l.HasWeights() {
-			overhead += c.GEMMTime(l.TrainFLOPsPerSample()*scale, localB)
+			overhead += c.GridUnweightedTime(l, B, g)
 		}
 	}
 	return times, overhead

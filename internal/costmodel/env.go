@@ -51,6 +51,16 @@ type pricer struct {
 }
 
 func (e Env) pricerFor(g grid.Grid) *pricer {
+	return e.pricerAt(g, 0)
+}
+
+// pricerAt builds a pricer for a grid whose process (0,0) sits at
+// machine rank `offset` — the rank block of one pipeline stage. On a
+// flat machine the offset is irrelevant (every rank is identical); on a
+// hierarchical one it decides how the stage's collective groups straddle
+// node/rack boundaries, so two stages with the same grid can price
+// differently depending on where their blocks start.
+func (e Env) pricerAt(g grid.Grid, offset int) *pricer {
 	p := &pricer{env: e, g: g}
 	if e.Flat() {
 		// The uniform fast path in internal/collective reads only the
@@ -64,11 +74,11 @@ func (e Env) pricerFor(g grid.Grid) *pricer {
 		return p
 	}
 	sizes := e.Topo.GroupSizes()
-	p.col = g.ColGroupSpans(sizes, e.Placement)
-	p.row = g.RowGroupSpans(sizes, e.Placement)
-	p.spans[2] = g.AllSpan(sizes)
+	p.col = g.ColGroupSpansAt(sizes, e.Placement, offset)
+	p.row = g.RowGroupSpansAt(sizes, e.Placement, offset)
+	p.spans[2] = g.AllSpanAt(sizes, offset)
 	p.all = p.spans[2:3:3]
-	p.haloLevel = g.ColNeighborsLevel(sizes, e.Placement)
+	p.haloLevel = g.ColNeighborsLevelAt(sizes, e.Placement, offset)
 	return p
 }
 

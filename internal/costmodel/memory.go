@@ -43,9 +43,16 @@ func (m MemoryEstimate) TotalBytes() float64 {
 // Memory estimates the per-process memory of training net at global batch
 // B on grid g under the Eq. 9 assignment (nil ⇒ all layers L_M).
 func Memory(net *nn.Network, B int, g grid.Grid, assign Assignment) MemoryEstimate {
+	return memoryLayers(net, B, g, assign, net.WeightedLayers())
+}
+
+// memoryLayers is Memory restricted to a subset of the weighted layers —
+// the footprint of one pipeline stage, which holds only its own layers'
+// weights and activations.
+func memoryLayers(net *nn.Network, B int, g grid.Grid, assign Assignment, widx []int) MemoryEstimate {
 	var m MemoryEstimate
 	localB := float64(B) / float64(g.Pc)
-	for _, li := range net.WeightedLayers() {
+	for _, li := range widx {
 		l := &net.Layers[li]
 		s := Model
 		if assign != nil {
@@ -88,6 +95,19 @@ func Memory(net *nn.Network, B int, g grid.Grid, assign Assignment) MemoryEstima
 func PipelineInFlight(sched timeline.Schedule) int {
 	if sched.Shape == timeline.OneFOneB && sched.Stages < sched.MicroBatches {
 		return sched.Stages
+	}
+	return sched.MicroBatches
+}
+
+// stageInFlight returns the peak in-flight micro-batch count of pipeline
+// stage k: a gpipe fill–drain stashes all M everywhere, while 1f1b's
+// warm-up admits S−k forwards into stage k before its first backward, so
+// earlier stages stash more — the classic 1F1B depth gradient.
+func stageInFlight(sched timeline.Schedule, k int) int {
+	if sched.Shape == timeline.OneFOneB {
+		if d := sched.Stages - k; d < sched.MicroBatches {
+			return d
+		}
 	}
 	return sched.MicroBatches
 }

@@ -30,9 +30,18 @@ type PipelineCost struct {
 	// lists it per micro-batch; its cost is batch-size independent.
 	Breakdown *Breakdown
 	// Overhead is the residual per-iteration compute the schedule does
-	// not simulate: the fixed framework cost (paid once per iteration)
-	// plus the unweighted-layer compute (paid once per micro-batch).
+	// not simulate: the fixed framework cost (paid once per iteration),
+	// the unweighted-layer compute (paid once per micro-batch), and —
+	// when gradients accumulate across micro-batches — the flush update
+	// (FlushSeconds).
 	Overhead float64
+	// FlushSeconds is the post-flush SGD weight update: with M > 1 the
+	// per-micro-batch update term of compute.GridLayerTimes models the
+	// local gradient *accumulation*, and the real weight update runs once
+	// after the deferred ∆W all-reduce — one more pass over the local
+	// weight shard at UpdateRate, un-overlappable, included in Overhead.
+	// Zero at M = 1, where the per-micro-batch term is the update itself.
+	FlushSeconds float64
 }
 
 // IterSeconds is the priced iteration time: schedule makespan plus the
@@ -87,11 +96,29 @@ func (e Env) PipelineIteration(net *nn.Network, B int, g grid.Grid, assign Assig
 	if err != nil {
 		return PipelineCost{}, err
 	}
+	var flush float64
+	if M > 1 {
+		flush = flushSeconds(net, cm, net.WeightedLayers(), func(int) float64 { return float64(g.Pr) })
+	}
 	return PipelineCost{
-		Result:    res,
-		Breakdown: b,
-		Overhead:  cm.FixedIter + float64(M)*(ov-cm.FixedIter),
+		Result:       res,
+		Breakdown:    b,
+		Overhead:     cm.FixedIter + float64(M)*(ov-cm.FixedIter) + flush,
+		FlushSeconds: flush,
 	}, nil
+}
+
+// flushSeconds prices the end-of-iteration weight update after the
+// gradient flush: one UpdateRate pass over each layer's local weight
+// shard, summed in forward layer order (prOf returns the Pr shard factor
+// of the layer at widx position k, so stage-partitioned callers can
+// shard each layer by its own stage's grid with identical arithmetic).
+func flushSeconds(net *nn.Network, cm compute.Model, widx []int, prOf func(k int) float64) float64 {
+	var s float64
+	for k, li := range widx {
+		s += cm.UpdateTime(float64(net.Layers[li].Weights()) / prOf(k))
+	}
+	return s
 }
 
 // PipelineIterationSeconds is the scalar convenience form of

@@ -236,11 +236,20 @@ func dedupeSpans(spans []LevelSpan) []LevelSpan {
 // differently, so more than one shape may come back; a bulk-synchronous
 // collective is governed by the most expensive one.
 func (g Grid) ColGroupSpans(sizes []int, pl Placement) []LevelSpan {
+	return g.ColGroupSpansAt(sizes, pl, 0)
+}
+
+// ColGroupSpansAt is ColGroupSpans for a grid whose process (0,0) sits
+// at machine rank `offset` instead of 0 — the placement of one pipeline
+// stage's rank block inside the machine. An offset can move a group
+// across node or rack boundaries, so the spans (and hence the Eq. 3–9
+// prices) genuinely depend on where the block starts.
+func (g Grid) ColGroupSpansAt(sizes []int, pl Placement, offset int) []LevelSpan {
 	spans := make([]LevelSpan, 0, g.Pc)
 	ranks := make([]int, g.Pr)
 	for c := 0; c < g.Pc; c++ {
 		for r := 0; r < g.Pr; r++ {
-			ranks[r] = g.MachineRank(r, c, pl)
+			ranks[r] = offset + g.MachineRank(r, c, pl)
 		}
 		spans = append(spans, SpanOf(ranks, sizes))
 	}
@@ -250,11 +259,17 @@ func (g Grid) ColGroupSpans(sizes []int, pl Placement) []LevelSpan {
 // RowGroupSpans returns the distinct level spans of the Pr row groups
 // (the Pc-sized ∆W all-reduce groups of Fig. 5) under a placement.
 func (g Grid) RowGroupSpans(sizes []int, pl Placement) []LevelSpan {
+	return g.RowGroupSpansAt(sizes, pl, 0)
+}
+
+// RowGroupSpansAt is RowGroupSpans for a grid whose rank block starts at
+// machine rank `offset` (see ColGroupSpansAt).
+func (g Grid) RowGroupSpansAt(sizes []int, pl Placement, offset int) []LevelSpan {
 	spans := make([]LevelSpan, 0, g.Pr)
 	ranks := make([]int, g.Pc)
 	for r := 0; r < g.Pr; r++ {
 		for c := 0; c < g.Pc; c++ {
-			ranks[c] = g.MachineRank(r, c, pl)
+			ranks[c] = offset + g.MachineRank(r, c, pl)
 		}
 		spans = append(spans, SpanOf(ranks, sizes))
 	}
@@ -266,9 +281,16 @@ func (g Grid) RowGroupSpans(sizes []int, pl Placement) []LevelSpan {
 // all-reduces). It is placement-independent: every placement is a
 // bijection onto 0..P−1.
 func (g Grid) AllSpan(sizes []int) LevelSpan {
+	return g.AllSpanAt(sizes, 0)
+}
+
+// AllSpanAt is AllSpan for a grid whose rank block starts at machine
+// rank `offset`: the block's full-group collectives span ranks
+// offset … offset+P−1.
+func (g Grid) AllSpanAt(sizes []int, offset int) LevelSpan {
 	ranks := make([]int, g.P())
 	for i := range ranks {
-		ranks[i] = i
+		ranks[i] = offset + i
 	}
 	return SpanOf(ranks, sizes)
 }
@@ -280,14 +302,20 @@ func (g Grid) AllSpan(sizes []int) LevelSpan {
 // boundary-crossing pair lifts the whole exchange to the level (and
 // link) of that crossing.
 func (g Grid) ColNeighborsLevel(sizes []int, pl Placement) int {
+	return g.ColNeighborsLevelAt(sizes, pl, 0)
+}
+
+// ColNeighborsLevelAt is ColNeighborsLevel for a grid whose rank block
+// starts at machine rank `offset` (see ColGroupSpansAt).
+func (g Grid) ColNeighborsLevelAt(sizes []int, pl Placement, offset int) int {
 	if len(sizes) == 0 {
 		panic("grid: ColNeighborsLevel needs at least one level size")
 	}
 	level := 0
 	for c := 0; c < g.Pc; c++ {
 		for r := 0; r+1 < g.Pr; r++ {
-			a := g.MachineRank(r, c, pl)
-			b := g.MachineRank(r+1, c, pl)
+			a := offset + g.MachineRank(r, c, pl)
+			b := offset + g.MachineRank(r+1, c, pl)
 			l := 0
 			for l < len(sizes)-1 && levelUnit(a, sizes[l]) != levelUnit(b, sizes[l]) {
 				l++

@@ -216,3 +216,42 @@ func TestColNeighborsLevel(t *testing.T) {
 		t.Fatalf("8-high packed column in one rack = level %d, want 1", got)
 	}
 }
+
+// Offset variants shift the whole rank block: an aligned block keeps the
+// zero-offset spans, a misaligned one straddles more units, and spans at
+// offset 0 delegate exactly.
+func TestOffsetSpans(t *testing.T) {
+	g := Grid{Pr: 4, Pc: 2}
+	sizes := []int{4, 0} // 4-rank nodes
+
+	if got, want := g.ColGroupSpansAt(sizes, RowMajor, 0), g.ColGroupSpans(sizes, RowMajor); !reflect.DeepEqual(got, want) {
+		t.Fatalf("offset 0 col spans differ: %+v vs %+v", got, want)
+	}
+	if got, want := g.RowGroupSpansAt(sizes, RowMajor, 0), g.RowGroupSpans(sizes, RowMajor); !reflect.DeepEqual(got, want) {
+		t.Fatalf("offset 0 row spans differ: %+v vs %+v", got, want)
+	}
+	if got, want := g.AllSpanAt(sizes, 0), g.AllSpan(sizes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("offset 0 all span differs: %+v vs %+v", got, want)
+	}
+
+	// A node-aligned offset preserves every span shape (the block just
+	// occupies later nodes).
+	if got, want := g.AllSpanAt(sizes, 8), g.AllSpan(sizes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("node-aligned offset changed the span: %+v vs %+v", got, want)
+	}
+
+	// A misaligned offset splits the 8-rank block over 3 nodes instead
+	// of 2.
+	if got := g.AllSpanAt(sizes, 2); got.Levels[0].Groups != 3 {
+		t.Fatalf("offset 2 block touches %d nodes, want 3", got.Levels[0].Groups)
+	}
+
+	// ColMajor packs each 4-high column on one node at offset 0; offset
+	// 2 pushes every column across a node boundary.
+	if got := g.ColNeighborsLevelAt(sizes, ColMajor, 0); got != 0 {
+		t.Fatalf("aligned packed columns = level %d, want 0", got)
+	}
+	if got := g.ColNeighborsLevelAt(sizes, ColMajor, 2); got != 1 {
+		t.Fatalf("misaligned packed columns = level %d, want 1", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"dnnparallel/internal/grid"
 	"dnnparallel/internal/machine"
 	"dnnparallel/internal/nn"
+	"dnnparallel/internal/stage"
 	"dnnparallel/internal/timeline"
 )
 
@@ -158,9 +159,31 @@ type Options struct {
 	// PipelineStages is the stage count S of the pipeline schedule
 	// (0 ⇒ 1). S = 1 is inter-batch pipelining on one device group —
 	// the natural setting for the paper's grids, where every process
-	// executes every layer; S > 1 partitions the layer list into S
-	// contiguous stages with their own simulated compute/network lanes.
+	// executes every layer; S > 1 partitions the weighted-layer list
+	// into S contiguous stages, each pricing only its own layers on its
+	// own P/S-sized grid at its own rank offset
+	// (costmodel.StageIteration), with the inter-stage activation
+	// handoffs priced against the topology level each cut crosses.
+	// Multi-stage search requires UseTimeline.
 	PipelineStages int
+	// StageCounts, when non-empty, searches several stage counts and
+	// keeps the best (overriding PipelineStages). Each S > 1 co-searches
+	// the contiguous layer partitions (see MaxPartitions) and the shared
+	// per-stage grid over the factorizations of P/S; S values that do
+	// not divide P, or exceed the weighted layer count, are reported
+	// infeasible.
+	StageCounts []int
+	// Partition pins the stage boundaries: cut positions into the
+	// weighted-layer list (layer k starts stage when k ∈ Partition),
+	// strictly increasing in (0, L). Requires a single searched stage
+	// count equal to len(Partition)+1.
+	Partition []int
+	// MaxPartitions caps the per-stage-count partition enumeration
+	// (0 ⇒ 64). Below the cap every contiguous split is priced
+	// exhaustively; above it the search falls back to the
+	// balanced-compute heuristic and its single-boundary perturbations
+	// (stage.Enumerate).
+	MaxPartitions int
 }
 
 // DefaultOptions returns the paper's Table 1 configuration.
@@ -202,13 +225,62 @@ func (o Options) microBatches() []int {
 	return []int{1}
 }
 
-// schedule assembles the timeline.Schedule for a candidate M.
+// schedule assembles the timeline.Schedule for a single-stage candidate M.
 func (o Options) schedule(m int) timeline.Schedule {
-	stages := o.PipelineStages
-	if stages < 1 {
-		stages = 1
+	return timeline.Schedule{Shape: o.Schedule, MicroBatches: m, Stages: 1}
+}
+
+// stageCounts returns the stage-count search space: StageCounts when
+// set, else {max(1, PipelineStages)}.
+func (o Options) stageCounts() []int {
+	if len(o.StageCounts) > 0 {
+		return o.StageCounts
 	}
-	return timeline.Schedule{Shape: o.Schedule, MicroBatches: m, Stages: stages}
+	if o.PipelineStages > 1 {
+		return []int{o.PipelineStages}
+	}
+	return []int{1}
+}
+
+// maxPartitions returns the partition-enumeration cap (see
+// Options.MaxPartitions).
+func (o Options) maxPartitions() int {
+	if o.MaxPartitions > 0 {
+		return o.MaxPartitions
+	}
+	return 64
+}
+
+// layerComputeCosts returns the per-weighted-layer training FLOPs — the
+// grid-independent weights the partition enumeration balances.
+func layerComputeCosts(net *nn.Network) []float64 {
+	widx := net.WeightedLayers()
+	costs := make([]float64, len(widx))
+	for k, li := range widx {
+		costs[k] = net.Layers[li].TrainFLOPsPerSample()
+	}
+	return costs
+}
+
+// partitions returns the candidate stage partitions for S stages: the
+// pinned Options.Partition when set, else stage.Enumerate over the
+// layer compute costs.
+func (o Options) partitions(net *nn.Network, S int) ([]stage.Partition, error) {
+	L := len(net.WeightedLayers())
+	if S > L {
+		return nil, fmt.Errorf("planner: S=%d stages exceed the network's %d weighted layers", S, L)
+	}
+	if len(o.Partition) > 0 {
+		p, err := stage.FromCuts(o.Partition, L)
+		if err != nil {
+			return nil, err
+		}
+		if p.Stages() != S {
+			return nil, fmt.Errorf("planner: pinned partition has %d stages, searching S=%d", p.Stages(), S)
+		}
+		return []stage.Partition{p}, nil
+	}
+	return stage.Enumerate(layerComputeCosts(net), S, o.maxPartitions()), nil
 }
 
 // Plan is one evaluated configuration.
@@ -229,6 +301,17 @@ type Plan struct {
 	MicroBatch     int
 	Schedule       timeline.Shape
 	BubbleFraction float64
+
+	// Stages is the pipeline stage count the plan was priced at (1 for
+	// classic plans, where Grid spans the whole machine). For Stages >
+	// 1, Grid is the shared per-stage grid (P = Stages × Grid.P()),
+	// Partition lists the stage-boundary cuts into the weighted-layer
+	// list, and PerStage carries the per-stage table — layers, params,
+	// compute, collective seconds, activation stash, and the boundary
+	// handoff volume with its topology-level attribution.
+	Stages    int
+	Partition []int
+	PerStage  []costmodel.StageCost
 
 	CommSeconds  float64 // per-iteration communication
 	CompSeconds  float64 // per-iteration computation
@@ -343,12 +426,177 @@ func autoAssignment(net *nn.Network, B int, g grid.Grid, env costmodel.Env) cost
 	return a
 }
 
-// Evaluate prices one (grid, mode) configuration over the placement
-// search space and returns the best placement's plan (ties keep the
+// Evaluate prices one (grid, mode) configuration over the placement and
+// stage-count search spaces and returns the best plan (ties keep the
 // earlier placement, so flat machines deterministically report
-// row-major).
+// row-major). For stage counts > 1 the grid is the shared per-stage
+// grid: the machine has S × g.P() ranks, stage k's block starting at
+// rank k·g.P().
 func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
-	return evaluate(net, B, g, opts, nil)
+	counts := opts.stageCounts()
+	best := evaluateStageCount(net, B, g, counts[0], opts, nil)
+	for _, S := range counts[1:] {
+		if p := evaluateStageCount(net, B, g, S, opts, nil); p.Feasible &&
+			(!best.Feasible || p.IterSeconds < best.IterSeconds) {
+			best = p
+		}
+	}
+	return best
+}
+
+// evaluateStageCount prices one (grid, stage-count) pair: the legacy
+// single-stage path for S ≤ 1, the partition × placement × micro-batch
+// product for S > 1 (g shared per stage).
+func evaluateStageCount(net *nn.Network, B int, g grid.Grid, S int, opts Options, st *SearchStats) Plan {
+	if S <= 1 {
+		return evaluate(net, B, g, opts, st)
+	}
+	parts, err := opts.partitions(net, S)
+	if err != nil {
+		if st != nil {
+			st.Candidates++
+			st.StageCandidates++
+			st.InfeasiblePruned++
+		}
+		return Plan{Grid: g, Mode: opts.Mode, Stages: S, MicroBatch: 1, Schedule: opts.Schedule, Reason: err.Error()}
+	}
+	return evaluateStagedGrid(net, B, S, g, parts, opts, st)
+}
+
+// evaluateStagedGrid prices one shared per-stage grid over the
+// placement × partition × micro-batch product and returns the best
+// candidate (ties keep the earlier placement, then the earlier
+// partition, then the smaller M — the search order).
+func evaluateStagedGrid(net *nn.Network, B, S int, g grid.Grid, parts []stage.Partition, opts Options, st *SearchStats) Plan {
+	pls := opts.placements()
+	if g.Pr == 1 || g.Pc == 1 {
+		// Degenerate grids have identical rank mappings under every
+		// placement (see evaluate).
+		pls = pls[:1]
+	}
+	micros := opts.microBatches()
+	var best Plan
+	first := true
+	for _, pl := range pls {
+		for _, part := range parts {
+			for _, m := range micros {
+				p := evaluateStagedAt(net, B, g, pl, part, opts, m, st)
+				if first || (p.Feasible && (!best.Feasible || p.IterSeconds < best.IterSeconds ||
+					(p.IterSeconds == best.IterSeconds && p.MicroBatch < best.MicroBatch))) {
+					best = p
+					first = false
+				}
+			}
+		}
+	}
+	return best
+}
+
+// evaluateStagedAt prices one (grid, placement, partition, M) stage-
+// partitioned candidate via costmodel.StageIteration: every stage's
+// layers on the shared grid at the stage's rank offset, boundary
+// handoffs priced against the topology level each cut crosses, memory
+// pruned on the tightest stage's footprint.
+func evaluateStagedAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, part stage.Partition,
+	opts Options, micro int, st *SearchStats) Plan {
+	if st != nil {
+		st.Candidates++
+		st.StageCandidates++
+	}
+	S := part.Stages()
+	sched := timeline.Schedule{Shape: opts.Schedule, MicroBatches: micro, Stages: S}
+	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape,
+		Stages: S, Partition: part.Cuts()}
+	ok, reason := feasible(net, B, g, opts.Mode)
+	if !ok {
+		p.Reason = reason
+		if st != nil {
+			st.InfeasiblePruned++
+		}
+		return p
+	}
+	if opts.MaxPc > 0 && g.Pc > opts.MaxPc {
+		p.Reason = fmt.Sprintf("Pc=%d exceeds the batch-parallelism cap %d", g.Pc, opts.MaxPc)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
+		return p
+	}
+	if micro < 1 || B%micro != 0 {
+		p.Reason = fmt.Sprintf("micro-batch count %d does not divide B=%d", micro, B)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
+		return p
+	}
+	if B/micro < g.Pc {
+		p.Reason = fmt.Sprintf("micro-batch size %d is thinner than Pc=%d", B/micro, g.Pc)
+		if st != nil {
+			st.InfeasiblePruned++
+		}
+		return p
+	}
+	var priceStart time.Time
+	if st != nil {
+		priceStart = time.Now()
+	}
+	env := costmodel.Env{Topo: opts.topology(), Placement: pl}
+	// Strategies are chosen at the micro-batch size on the shared grid,
+	// as in the single-stage pipeline path.
+	p.Assignment = assignmentFor(net, B/micro, g, opts.Mode, env)
+	grids := make([]grid.Grid, S)
+	for k := range grids {
+		grids[k] = g
+	}
+	// The tightest stage governs feasibility: every process must fit its
+	// own stage's weights plus the stash its schedule position forces.
+	for _, m := range costmodel.MemoryStages(net, B, part, grids, p.Assignment, sched) {
+		if w := m.TotalWords(); w > p.MemoryWords {
+			p.MemoryWords = w
+		}
+	}
+	if opts.MemoryLimitWords > 0 && p.MemoryWords > opts.MemoryLimitWords {
+		p.Reason = fmt.Sprintf("stage stash: per-process memory %.3g words exceeds limit %.3g",
+			p.MemoryWords, opts.MemoryLimitWords)
+		if st != nil {
+			st.MemoryPruned++
+			st.PriceSeconds += time.Since(priceStart).Seconds()
+		}
+		return p
+	}
+	var simStart time.Time
+	if st != nil {
+		st.Priced++
+		st.PriceSeconds += time.Since(priceStart).Seconds()
+		simStart = time.Now()
+	}
+	sc, err := env.StageIteration(net, B, part, grids, p.Assignment, opts.Compute, opts.TimelinePolicy, sched)
+	if st != nil {
+		st.TimelineSimulated++
+		st.SimulateSeconds += time.Since(simStart).Seconds()
+	}
+	if err != nil {
+		p.Reason = fmt.Sprintf("stage simulation failed: %v", err)
+		return p
+	}
+	p.Feasible = true
+	p.Breakdown = sc.Breakdown // per-micro-batch costs, all stages in layer order
+	p.Timeline = sc.Result
+	p.BubbleFraction = sc.Result.BubbleFraction
+	p.PerStage = sc.Stages
+	p.CommSeconds = sc.Result.CommSeconds
+	p.CompSeconds = sc.Result.ComputeSeconds + sc.Overhead
+	p.IterSeconds = sc.IterSeconds()
+	if opts.AddRedistribution {
+		r := float64(micro) * env.RedistributionSeconds(net, B/micro, g, p.Assignment)
+		p.CommSeconds += r
+		p.IterSeconds += r
+	}
+	p.ExposedCommSeconds = math.Max(0, p.IterSeconds-p.CompSeconds)
+	if opts.DatasetN > 0 {
+		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
+	}
+	return p
 }
 
 // evaluate is Evaluate with an optional telemetry collector (st may be
@@ -403,7 +651,7 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 	if micro != 1 {
 		return evaluatePipelineAt(net, B, g, pl, opts, micro, st)
 	}
-	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule}
+	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: 1}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
@@ -500,7 +748,7 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 // accounted to the simulate phase (see SearchStats).
 func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int, st *SearchStats) Plan {
 	sched := opts.schedule(micro)
-	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape}
+	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape, Stages: 1}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
@@ -618,10 +866,13 @@ func (r Result) Speedup() (total, comm float64) {
 	return total, comm
 }
 
-// Optimize searches every Pr × Pc factorization of P — and, on a
-// two-level topology, every rank placement of each grid — returning the
+// Optimize searches every stage count S of Options.StageCounts (default
+// {1}), every Pr × Pc factorization of the per-stage process count P/S —
+// and, on a two-level topology, every rank placement of each grid — plus,
+// for S > 1, every candidate contiguous layer partition, returning the
 // feasible plan with the lowest iteration time. Each entry of Result.All
-// is one grid priced at its best placement (Plan.Placement).
+// is one (stage count, grid) pair priced at its best placement,
+// partition, and micro-batch count.
 func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	if err := opts.Machine.Validate(); err != nil {
 		return Result{}, err
@@ -642,18 +893,25 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 			return Result{}, fmt.Errorf("planner: micro-batch candidate M=%d needs UseTimeline (pipeline schedules are scored by the timeline simulator)", m)
 		}
 	}
+	counts := opts.stageCounts()
+	for _, S := range counts {
+		if S < 1 {
+			return Result{}, fmt.Errorf("planner: stage counts must be ≥ 1, got %d", S)
+		}
+		if S > 1 && !opts.UseTimeline {
+			return Result{}, fmt.Errorf("planner: S=%d stages need UseTimeline (stage partitions are scored by the timeline simulator)", S)
+		}
+	}
+	if len(opts.Partition) > 0 && (len(counts) != 1 || counts[0] != len(opts.Partition)+1) {
+		return Result{}, fmt.Errorf("planner: pinned partition %v implies exactly S=%d, searching %v",
+			opts.Partition, len(opts.Partition)+1, counts)
+	}
 	var res Result
 	st := &res.Stats
 	wallStart := time.Now()
 	best := math.Inf(1)
-	for _, g := range grid.Factorizations(P) {
-		st.GridsEnumerated++
-		p := evaluate(net, B, g, opts, st)
+	record := func(p Plan) {
 		res.All = append(res.All, p)
-		if g.IsPureBatch() {
-			pb := p
-			res.PureBatch = &pb
-		}
 		if p.Feasible && p.IterSeconds < best {
 			best = p.IterSeconds
 			res.Best = p
@@ -661,8 +919,46 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 				Grid:        p.Grid.String(),
 				Placement:   p.Placement,
 				MicroBatch:  p.MicroBatch,
+				Stages:      p.Stages,
+				Partition:   p.Partition,
 				IterSeconds: p.IterSeconds,
 			})
+		}
+	}
+	for _, S := range counts {
+		st.StageCountsSearched++
+		if S == 1 {
+			for _, g := range grid.Factorizations(P) {
+				st.GridsEnumerated++
+				p := evaluate(net, B, g, opts, st)
+				if g.IsPureBatch() {
+					pb := p
+					res.PureBatch = &pb
+				}
+				record(p)
+			}
+			continue
+		}
+		if P%S != 0 {
+			st.Candidates++
+			st.StageCandidates++
+			st.InfeasiblePruned++
+			record(Plan{Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: S,
+				Reason: fmt.Sprintf("S=%d stages do not divide P=%d", S, P)})
+			continue
+		}
+		parts, err := opts.partitions(net, S)
+		if err != nil {
+			st.Candidates++
+			st.StageCandidates++
+			st.InfeasiblePruned++
+			record(Plan{Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: S, Reason: err.Error()})
+			continue
+		}
+		st.PartitionsEnumerated += len(parts)
+		for _, g := range grid.Factorizations(P / S) {
+			st.GridsEnumerated++
+			record(evaluateStagedGrid(net, B, S, g, parts, opts, st))
 		}
 	}
 	st.WallSeconds = time.Since(wallStart).Seconds()
@@ -672,6 +968,16 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	if math.IsInf(best, 1) {
 		return res, fmt.Errorf("planner: no feasible configuration for B=%d P=%d mode=%v", B, P, opts.Mode)
 	}
-	sort.SliceStable(res.All, func(i, j int) bool { return res.All[i].Grid.Pr < res.All[j].Grid.Pr })
+	// A single stage count emits plans in Factorizations order already —
+	// increasing Pr — so only a multi-count sweep needs the re-sort (and
+	// the hot single-stage path skips the reflect-based swap entirely).
+	if len(counts) > 1 {
+		sort.SliceStable(res.All, func(i, j int) bool {
+			if res.All[i].Stages != res.All[j].Stages {
+				return res.All[i].Stages < res.All[j].Stages
+			}
+			return res.All[i].Grid.Pr < res.All[j].Grid.Pr
+		})
+	}
 	return res, nil
 }

@@ -1,0 +1,186 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/stage"
+	"dnnparallel/internal/timeline"
+)
+
+// Explicitly asking for the single-stage search (StageCounts = {1}, or
+// the legacy PipelineStages knob at 0/1) must reproduce the default
+// search result exactly — same plans, same telemetry counts.
+func TestStageCountsSingleIsBitCompatible(t *testing.T) {
+	net := nn.AlexNet()
+	base := opts(Auto)
+	base.UseTimeline = true
+	base.TimelinePolicy = timeline.PolicyBackprop
+	base.MicroBatches = []int{1, 2}
+	ref, err := Optimize(net, 2048, 256, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Options){
+		func(o *Options) { o.StageCounts = []int{1} },
+		func(o *Options) { o.PipelineStages = 1 },
+	} {
+		o := base
+		mutate(&o)
+		got, err := Optimize(net, 2048, 256, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Best, ref.Best) || !reflect.DeepEqual(got.All, ref.All) {
+			t.Fatalf("single-stage spelling changed the search result")
+		}
+		if !reflect.DeepEqual(got.Stats.ZeroTimes(), ref.Stats.ZeroTimes()) {
+			t.Fatalf("single-stage spelling changed the telemetry:\n%+v\nvs\n%+v",
+				got.Stats.ZeroTimes(), ref.Stats.ZeroTimes())
+		}
+	}
+}
+
+// The acceptance demo: on the three-level rack-taper machine at P=512,
+// every two-stage split of 512 ranks into 256+256 crosses the spine at
+// rank 255|256, so the partition co-search moves the cut away from the
+// balanced-compute split (after conv2, 43264 words/sample of handoff)
+// to the thin fc7 boundary (4096 words/sample) — the plan only a search
+// that prices stage boundaries against the real topology can find. The
+// winners are pinned from the probe run so a regression in the boundary
+// pricing shows up as a concrete partition change.
+func TestStagePartitionCoSearchAvoidsFatSpineBoundary(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Auto)
+	o.Topology = rackTaper()
+	o.UseTimeline = true
+	o.TimelinePolicy = timeline.PolicyBackprop
+	o.Schedule = timeline.OneFOneB
+	o.MicroBatches = []int{1, 2, 4, 8}
+	o.StageCounts = []int{2}
+	res, err := Optimize(net, 2048, 512, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best
+	if best.Stages != 2 || len(best.PerStage) != 2 {
+		t.Fatalf("best plan has %d stages (%d table rows), want 2", best.Stages, len(best.PerStage))
+	}
+	// The co-searched cut differs from the balanced-compute baseline.
+	balanced := stage.BalancedCompute(layerComputeCosts(net), 2)
+	if got, want := balanced.Cuts(), []int{2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("balanced-compute baseline cut = %v, want %v (fixture drift)", got, want)
+	}
+	if got, want := best.Partition, []int{6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("co-searched cut = %v, want %v (the thin fc7 boundary)", got, want)
+	}
+	if got, want := best.Grid, (grid.Grid{Pr: 64, Pc: 4}); got != want {
+		t.Fatalf("best per-stage grid = %v, want %v", got, want)
+	}
+	if best.MicroBatch != 4 {
+		t.Fatalf("best micro-batch count = %d, want 4", best.MicroBatch)
+	}
+	// The per-stage table attributes the handoff to the spine and prices
+	// exactly micro × d_in(fc7) words.
+	s1 := best.PerStage[1]
+	if s1.BoundaryLevelName != "spine" {
+		t.Fatalf("boundary attributed to %q, want spine (256-rank blocks straddle racks)", s1.BoundaryLevelName)
+	}
+	if s1.RankOffset != 256 {
+		t.Fatalf("stage 1 rank offset = %d, want 256", s1.RankOffset)
+	}
+	fc7 := net.Layers[12]
+	if want := float64(2048/4) * float64(fc7.InSize()); s1.BoundaryWords != want {
+		t.Fatalf("boundary words = %g, want micro × d_in(fc7) = %g", s1.BoundaryWords, want)
+	}
+	if s1.BoundarySeconds <= 0 {
+		t.Fatal("spine handoff must carry a positive cost")
+	}
+
+	// Pinning the balanced cut instead must price strictly worse: the
+	// same spine boundary now carries conv3's activations.
+	pinned := o
+	pinned.Partition = balanced.Cuts()
+	balRes, err := Optimize(net, 2048, 512, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balRes.Best.IterSeconds <= best.IterSeconds {
+		t.Fatalf("balanced split (%g s) should lose to the co-searched split (%g s)",
+			balRes.Best.IterSeconds, best.IterSeconds)
+	}
+	if bw := balRes.Best.PerStage[1].BoundaryWords; bw <= s1.BoundaryWords {
+		t.Fatalf("balanced split ships %g boundary words, should exceed the co-searched %g", bw, s1.BoundaryWords)
+	}
+}
+
+// The pinned-grid entry point prices stage partitions too: with
+// StageCounts = {2} the grid is the shared per-stage grid and the
+// returned plan carries the stage table.
+func TestEvaluatePinnedGridStages(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	o.UseTimeline = true
+	o.StageCounts = []int{2}
+	p := Evaluate(net, 2048, grid.Grid{Pr: 16, Pc: 16}, o)
+	if !p.Feasible {
+		t.Fatalf("pinned staged grid infeasible: %s", p.Reason)
+	}
+	if p.Stages != 2 || len(p.PerStage) != 2 || len(p.Partition) != 1 {
+		t.Fatalf("staged evaluate returned S=%d, %d table rows, cuts %v", p.Stages, len(p.PerStage), p.Partition)
+	}
+	if p.PerStage[1].RankOffset != 256 {
+		t.Fatalf("stage 1 offset = %d, want 256 (stage blocks are consecutive)", p.PerStage[1].RankOffset)
+	}
+	// Sanity: the single-stage evaluate on the same options is untouched.
+	o.StageCounts = nil
+	if q := Evaluate(net, 2048, grid.Grid{Pr: 16, Pc: 16}, o); q.Stages != 1 || q.PerStage != nil {
+		t.Fatalf("default evaluate should stay single-stage, got S=%d", q.Stages)
+	}
+}
+
+// Option validation: multi-stage search needs the timeline scorer, a
+// pinned partition needs a matching stage count, and stage counts that
+// cannot tile the machine or the layer list surface as infeasible plans
+// rather than silent skips.
+func TestStageSearchOptionErrors(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	o.StageCounts = []int{2}
+	if _, err := Optimize(net, 2048, 64, o); err == nil {
+		t.Fatal("S=2 without UseTimeline should error")
+	}
+	o.UseTimeline = true
+	o.Partition = []int{2, 5}
+	if _, err := Optimize(net, 2048, 64, o); err == nil {
+		t.Fatal("pinned 3-stage partition with S=2 should error")
+	}
+	o.Partition = nil
+	o.StageCounts = []int{1, 3} // 3 does not divide 64
+	res, err := Optimize(net, 2048, 64, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.All {
+		if p.Stages == 3 {
+			found = true
+			if p.Feasible || p.Reason == "" {
+				t.Fatalf("S=3 over P=64 should be infeasible with a reason, got %+v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("the infeasible stage count should still appear in Result.All")
+	}
+	if !res.Stats.Reconciles() {
+		t.Fatalf("stats do not reconcile with an infeasible stage count: %+v", res.Stats)
+	}
+	// More stages than weighted layers: infeasible, not a crash.
+	o.StageCounts = []int{16}
+	if _, err := Optimize(net, 2048, 64, o); err == nil {
+		t.Fatal("S=16 > 8 weighted layers should leave no feasible configuration")
+	}
+}

@@ -15,6 +15,8 @@ type Improvement struct {
 	Grid        string         `json:"grid"`
 	Placement   grid.Placement `json:"placement"`
 	MicroBatch  int            `json:"micro_batch"`
+	Stages      int            `json:"stages,omitempty"`
+	Partition   []int          `json:"partition,omitempty"`
 	IterSeconds float64        `json:"iter_seconds"`
 }
 
@@ -37,11 +39,25 @@ type Improvement struct {
 // candidates (M > 1) the Eq. 3–9 re-pricing at micro-batch size B/M
 // happens inside the simulator call and is accounted to SimulateSeconds.
 type SearchStats struct {
-	// GridsEnumerated is the number of Pr × Pc factorizations of P.
+	// GridsEnumerated is the number of Pr × Pc factorizations examined
+	// across every stage count (of P for single-stage search, of the
+	// per-stage process count P/S for S > 1).
 	GridsEnumerated int `json:"grids_enumerated"`
-	// Candidates is the number of (grid, placement, micro-batch) tuples
-	// examined.
+	// StageCountsSearched is the number of pipeline stage counts S the
+	// search examined (1 unless Options.StageCounts widens it).
+	StageCountsSearched int `json:"stage_counts_searched"`
+	// PartitionsEnumerated is the total number of candidate contiguous
+	// layer→stage partitions generated across the multi-stage counts
+	// (0 for a purely single-stage search).
+	PartitionsEnumerated int `json:"partitions_enumerated,omitempty"`
+	// Candidates is the number of (stage count, grid, placement,
+	// partition, micro-batch) tuples examined.
 	Candidates int `json:"candidates"`
+	// StageCandidates is the subset of Candidates with more than one
+	// pipeline stage; they flow through the same Priced/
+	// InfeasiblePruned/MemoryPruned buckets, so the reconciliation
+	// identity is unchanged.
+	StageCandidates int `json:"stage_candidates,omitempty"`
 	// InfeasiblePruned counts candidates rejected by a structural
 	// constraint (Pc > B, conv-batch with P > B, domain height, MaxPc,
 	// micro-batch divisibility) before any pricing.
@@ -89,13 +105,20 @@ func (s SearchStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "search: %d grids, %d candidates (%d priced, %d infeasible, %d memory-pruned, %d simulated)\n",
 		s.GridsEnumerated, s.Candidates, s.Priced, s.InfeasiblePruned, s.MemoryPruned, s.TimelineSimulated)
+	if s.StageCountsSearched > 1 || s.PartitionsEnumerated > 0 {
+		fmt.Fprintf(&b, "stages: %d stage counts, %d partitions, %d stage candidates\n",
+			s.StageCountsSearched, s.PartitionsEnumerated, s.StageCandidates)
+	}
 	fmt.Fprintf(&b, "wall:   %.3gs = enumerate %.3gs + price %.3gs + simulate %.3gs\n",
 		s.WallSeconds, s.EnumerateSeconds, s.PriceSeconds, s.SimulateSeconds)
 	if len(s.Improvements) > 0 {
 		fmt.Fprintf(&b, "best-cost trajectory (%d improvements):\n", len(s.Improvements))
 		for _, im := range s.Improvements {
-			fmt.Fprintf(&b, "  %-8s %-9s M=%-3d iter=%.4gs\n",
-				im.Grid, im.Placement, im.MicroBatch, im.IterSeconds)
+			fmt.Fprintf(&b, "  %-8s %-9s M=%-3d ", im.Grid, im.Placement, im.MicroBatch)
+			if im.Stages > 1 {
+				fmt.Fprintf(&b, "S=%d cuts=%v ", im.Stages, im.Partition)
+			}
+			fmt.Fprintf(&b, "iter=%.4gs\n", im.IterSeconds)
 		}
 	}
 	return b.String()

@@ -106,6 +106,64 @@ func TestSearchStatsPipelineSweep(t *testing.T) {
 	}
 }
 
+// TestSearchStatsStageSweep: the stage-count sweep multiplies candidates
+// by partitions while keeping the reconciliation identity exact. On the
+// flat machine at P=64 with M ∈ {1,2} the counts are fully predictable:
+// S=1 prices 7 grids × 2 micros = 14 candidates; S=2 adds 6 grids of 32
+// × C(7,1)=7 partitions × 2 = 84; S=4 adds 5 grids of 16 × C(7,3)=35
+// × 2 = 350.
+func TestSearchStatsStageSweep(t *testing.T) {
+	net := nn.AlexNet()
+	o := opts(Uniform)
+	o.UseTimeline = true
+	o.MicroBatches = []int{1, 2}
+	o.StageCounts = []int{1, 2, 4}
+	res, err := Optimize(net, 2048, 64, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Reconciles() {
+		t.Fatalf("stage sweep counts do not reconcile: %d candidates ≠ %d priced + %d infeasible + %d memory-pruned",
+			st.Candidates, st.Priced, st.InfeasiblePruned, st.MemoryPruned)
+	}
+	if st.StageCountsSearched != 3 {
+		t.Errorf("StageCountsSearched = %d, want 3", st.StageCountsSearched)
+	}
+	if want := 7 + 35; st.PartitionsEnumerated != want {
+		t.Errorf("PartitionsEnumerated = %d, want %d (C(7,1) + C(7,3))", st.PartitionsEnumerated, want)
+	}
+	if want := 14 + 84 + 350; st.Candidates != want {
+		t.Errorf("Candidates = %d, want %d", st.Candidates, want)
+	}
+	if want := 84 + 350; st.StageCandidates != want {
+		t.Errorf("StageCandidates = %d, want %d (the S>1 subset)", st.StageCandidates, want)
+	}
+	if st.StageCandidates > st.Candidates {
+		t.Errorf("StageCandidates %d exceeds Candidates %d", st.StageCandidates, st.Candidates)
+	}
+	if want := 7 + 6 + 5; st.GridsEnumerated != want {
+		t.Errorf("GridsEnumerated = %d, want %d (factorizations of 64, 32, 16)", st.GridsEnumerated, want)
+	}
+	// Memory pruning on the stage path reclassifies, never drops: a cap
+	// tight enough to prune some stage stashes keeps the identity exact.
+	capped := o
+	capped.MemoryLimitWords = res.Best.MemoryWords * 0.9
+	cres, err := Optimize(net, 2048, 64, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.Stats.Reconciles() {
+		t.Fatalf("capped stage sweep does not reconcile: %+v", cres.Stats)
+	}
+	if cres.Stats.MemoryPruned == 0 {
+		t.Error("expected memory-pruned candidates under a cap below the unconstrained best")
+	}
+	if cres.Stats.Candidates != st.Candidates {
+		t.Errorf("the cap changed the candidate count: %d vs %d", cres.Stats.Candidates, st.Candidates)
+	}
+}
+
 // TestSearchStatsDeterministicCounts: two runs of the same scenario
 // agree on everything except wall-clock times.
 func TestSearchStatsDeterministicCounts(t *testing.T) {

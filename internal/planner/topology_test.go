@@ -261,7 +261,7 @@ func TestTopologyTimelineScoring(t *testing.T) {
 	if lanes[timeline.Network] {
 		t.Fatal("two-level plan scheduled communication on the flat Network lane")
 	}
-	if !lanes[timeline.NetworkIntra] || !lanes[timeline.NetworkInter] {
+	if !lanes[timeline.NetworkLevel(0)] || !lanes[timeline.NetworkLevel(1)] {
 		t.Fatalf("expected both link lanes in use, got %v", lanes)
 	}
 	// Serialized scoring (PolicyNone) must not beat the overlap policy.

@@ -205,6 +205,65 @@ func (t *TopologySpec) resolve() machine.Topology {
 	return topo
 }
 
+// PartitionSpec is the pipeline partition choice: the literal string
+// "auto" (search the contiguous splits) or an explicit list of stage
+// boundaries — cut positions into the weighted-layer list, strictly
+// increasing in (0, L). The two spellings round-trip through JSON as
+// written; Normalize drops the explicit "auto" (it is the default).
+type PartitionSpec struct {
+	// Auto requests the partition co-search ("auto" in JSON).
+	Auto bool
+	// Cuts pins the stage boundaries (a JSON int array).
+	Cuts []int
+}
+
+// MarshalJSON renders "auto" or the cut list.
+func (p PartitionSpec) MarshalJSON() ([]byte, error) {
+	if p.Auto && len(p.Cuts) == 0 {
+		return []byte(`"auto"`), nil
+	}
+	return json.Marshal(p.Cuts)
+}
+
+// UnmarshalJSON accepts "auto" or a cut list.
+func (p *PartitionSpec) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if s != "auto" {
+			return fmt.Errorf(`partition: want "auto" or a cut list, got %q`, s)
+		}
+		*p = PartitionSpec{Auto: true}
+		return nil
+	}
+	var cuts []int
+	if err := json.Unmarshal(data, &cuts); err != nil {
+		return fmt.Errorf(`partition: want "auto" or a cut list, got %s`, data)
+	}
+	*p = PartitionSpec{Cuts: cuts}
+	return nil
+}
+
+// PipelineSpec configures stage-partitioned pipeline planning: the
+// network's weighted layers are split into Stages contiguous stages,
+// each running on its own P/Stages-sized grid, with the inter-stage
+// activation handoffs priced against the topology level each boundary
+// crosses. The legacy top-level pipeline_stages field is sugar for
+// {"stages": S}; Normalize canonicalizes it onto this block, so both
+// spellings share one canonical form (and one dnnserve cache entry).
+type PipelineSpec struct {
+	// Stages is the stage count S (≥ 2 in canonical form; a block with
+	// S ≤ 1 normalizes away). Must divide procs and not exceed the
+	// network's weighted layer count. Derivable from an explicit
+	// partition (len(cuts)+1).
+	Stages int `json:"stages,omitempty"`
+	// Partition selects the layer split: absent or "auto" co-searches
+	// the contiguous splits; an explicit cut list pins one.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+	// MaxPartitions caps the per-stage-count partition enumeration
+	// (0 ⇒ the planner default of 64).
+	MaxPartitions int `json:"max_partitions,omitempty"`
+}
+
 // Scenario is the declarative spec. The zero value is not useful; start
 // from Default (or the root package's New builder) or a JSON file, then
 // Normalize + Validate — Plan and Simulate do both eagerly.
@@ -246,8 +305,13 @@ type Scenario struct {
 	MicroBatches []int `json:"micro_batches,omitempty"`
 	// Schedule is the pipeline shape for M > 1 (gpipe|1f1b).
 	Schedule timeline.Shape `json:"schedule,omitempty"`
-	// PipelineStages is the stage count S (0 ⇒ 1).
+	// PipelineStages is the stage count S (0 ⇒ 1) — legacy sugar for
+	// Pipeline{Stages: S}; Normalize canonicalizes S > 1 onto the
+	// Pipeline block. Setting both is an error.
 	PipelineStages int `json:"pipeline_stages,omitempty"`
+	// Pipeline configures stage-partitioned planning (stage count,
+	// partition choice, enumeration cap).
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
 	// MemoryLimitWords, when > 0, rejects plans whose per-process
 	// footprint exceeds the limit.
 	MemoryLimitWords float64 `json:"memory_limit_words,omitempty"`
@@ -307,6 +371,32 @@ func (s Scenario) Normalize() Scenario {
 			if m > 1 {
 				out.Timeline = true // pipelines are scored by the simulator
 			}
+		}
+	}
+	if out.PipelineStages > 0 && out.Pipeline == nil {
+		// Canonicalize the legacy sugar onto the pipeline block (S = 1 is
+		// the default and normalizes away entirely); both spellings of one
+		// question share one canonical form — and one plan-cache entry.
+		if out.PipelineStages > 1 {
+			out.Pipeline = &PipelineSpec{Stages: out.PipelineStages}
+		}
+		out.PipelineStages = 0
+	}
+	if out.Pipeline != nil {
+		p := *out.Pipeline
+		if p.Partition != nil && p.Partition.Auto && len(p.Partition.Cuts) == 0 {
+			p.Partition = nil // "auto" is the default
+		}
+		if p.Stages == 0 && p.Partition != nil {
+			p.Stages = len(p.Partition.Cuts) + 1 // cuts imply the stage count
+		}
+		if p.Stages <= 1 && p.Partition == nil && p.MaxPartitions == 0 {
+			out.Pipeline = nil // the degenerate block is the default
+		} else {
+			out.Pipeline = &p
+		}
+		if out.Pipeline != nil && out.Pipeline.Stages > 1 {
+			out.Timeline = true // stage partitions are scored by the simulator
 		}
 	}
 	if out.Timeline {
@@ -456,6 +546,60 @@ func (s Scenario) Validate() error {
 	if s.PipelineStages < 0 {
 		return invalid("pipeline_stages", "need a stage count ≥ 0, got %d", s.PipelineStages)
 	}
+	if s.PipelineStages > 1 && s.Pipeline != nil {
+		return invalid("pipeline_stages", "pipeline_stages is sugar for pipeline.stages; use one spelling only")
+	}
+	if s.Pipeline != nil {
+		p := s.Pipeline
+		if p.Stages < 0 {
+			return invalid("pipeline.stages", "need a stage count ≥ 0, got %d", p.Stages)
+		}
+		if p.MaxPartitions < 0 {
+			return invalid("pipeline.max_partitions", "need a cap ≥ 0, got %d", p.MaxPartitions)
+		}
+		stages := p.Stages
+		if p.Partition != nil {
+			if p.Partition.Auto && len(p.Partition.Cuts) > 0 {
+				return invalid("pipeline.partition", `"auto" and an explicit cut list are mutually exclusive`)
+			}
+			if cuts := p.Partition.Cuts; len(cuts) > 0 {
+				if stages == 0 {
+					stages = len(cuts) + 1
+				}
+				if stages != len(cuts)+1 {
+					return invalid("pipeline.partition", "%d cuts imply %d stages, spec says %d",
+						len(cuts), len(cuts)+1, stages)
+				}
+				for i, c := range cuts {
+					if c < 1 || (i > 0 && c <= cuts[i-1]) {
+						return invalid("pipeline.partition", "cuts must be strictly increasing positions ≥ 1, got %v", cuts)
+					}
+				}
+			}
+		}
+		if stages > 1 {
+			// The network was validated above, so the preset resolves.
+			net, _ := nn.Preset(s.Network)
+			L := len(net.WeightedLayers())
+			if stages > L {
+				return invalid("pipeline.stages", "%d stages exceed the network's %d weighted layers", stages, L)
+			}
+			if p.Partition != nil {
+				if cuts := p.Partition.Cuts; len(cuts) > 0 && cuts[len(cuts)-1] >= L {
+					return invalid("pipeline.partition", "cut %d is out of range for %d weighted layers",
+						cuts[len(cuts)-1], L)
+				}
+			}
+			if s.Procs%stages != 0 {
+				return invalid("pipeline.stages", "%d stages must divide procs=%d (equal per-stage grids)", stages, s.Procs)
+			}
+			if !s.Timeline {
+				// Unreachable after Normalize; kept so a hand-built spec
+				// fails eagerly instead of inside the planner.
+				return invalid("pipeline.stages", "S=%d needs timeline scoring (Normalize sets it)", stages)
+			}
+		}
+	}
 	if s.MemoryLimitWords < 0 {
 		return invalid("memory_limit_words", "need a limit ≥ 0, got %g", s.MemoryLimitWords)
 	}
@@ -467,7 +611,17 @@ func (s Scenario) Validate() error {
 		if err != nil {
 			return invalid("grid", "%v", err)
 		}
-		if g.P() != s.Procs {
+		// A pinned grid is per-stage: S stage blocks of g.P() ranks tile
+		// the machine (S = 1 without a pipeline block).
+		stages := 1
+		if s.Pipeline != nil && s.Pipeline.Stages > 1 {
+			stages = s.Pipeline.Stages
+		}
+		if g.P()*stages != s.Procs {
+			if stages > 1 {
+				return invalid("grid", "per-stage grid %v × %d stages uses %d processes but procs=%d",
+					g, stages, g.P()*stages, s.Procs)
+			}
 			return invalid("grid", "grid %v uses %d processes but procs=%d", g, g.P(), s.Procs)
 		}
 	}
@@ -523,6 +677,13 @@ func (s Scenario) Resolve() (Resolved, error) {
 		Schedule:          n.Schedule,
 		PipelineStages:    n.PipelineStages,
 		Placements:        n.Placements,
+	}
+	if n.Pipeline != nil {
+		opts.PipelineStages = n.Pipeline.Stages
+		opts.MaxPartitions = n.Pipeline.MaxPartitions
+		if n.Pipeline.Partition != nil && len(n.Pipeline.Partition.Cuts) > 0 {
+			opts.Partition = append([]int(nil), n.Pipeline.Partition.Cuts...)
+		}
 	}
 	if n.Topology != nil {
 		opts.Topology = n.Topology.resolve()

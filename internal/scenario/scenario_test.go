@@ -29,7 +29,11 @@ func variants() map[string]Scenario {
 	pipe.Policy = timeline.PolicyBackprop
 	pipe.MicroBatches = []int{1, 2, 4, 8}
 	pipe.Schedule = timeline.OneFOneB
-	return map[string]Scenario{"flat": flat, "topology": topo, "pipeline": pipe}
+	staged := Default()
+	staged.MicroBatches = []int{1, 2, 4}
+	staged.Schedule = timeline.OneFOneB
+	staged.Pipeline = &PipelineSpec{Stages: 2, Partition: &PartitionSpec{Cuts: []int{6}}}
+	return map[string]Scenario{"flat": flat, "topology": topo, "pipeline": pipe, "staged": staged}
 }
 
 // TestJSONRoundTripBitExact: marshal → unmarshal → marshal must be

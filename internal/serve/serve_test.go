@@ -266,6 +266,56 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestPlanStagedCacheRespell: the two spellings of a staged question —
+// the legacy pipeline_stages sugar and the pipeline block — share one
+// cache entry, and the served plan carries the stage-partitioned fields
+// (stage count, cuts, per-stage table).
+func TestPlanStagedCacheRespell(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	legacy := dnnparallel.New("alexnet", 2048, 16,
+		dnnparallel.WithTimeline(dnnparallel.PolicyBackprop),
+		dnnparallel.WithMicroBatches(dnnparallel.ScheduleGPipe, 1, 2),
+		dnnparallel.WithPipelineStages(2))
+
+	resp, body := post(t, ts.URL+"/v1/plan", scenarioJSON(t, legacy))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first staged request X-Cache = %q, want miss", got)
+	}
+	var res dnnparallel.PlanResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Stages != 2 || len(res.Best.PerStage) != 2 || len(res.Best.Partition) != 1 {
+		t.Fatalf("served staged plan lacks the stage fields: S=%d cuts=%v rows=%d",
+			res.Best.Stages, res.Best.Partition, len(res.Best.PerStage))
+	}
+	if res.Best.PerStage[1].RankOffset != 8 {
+		t.Errorf("stage 1 rank offset = %d, want 8 (per-stage grids of P/S=8 ranks)",
+			res.Best.PerStage[1].RankOffset)
+	}
+
+	block := dnnparallel.New("alexnet", 2048, 16,
+		dnnparallel.WithTimeline(dnnparallel.PolicyBackprop),
+		dnnparallel.WithMicroBatches(dnnparallel.ScheduleGPipe, 1, 2),
+		dnnparallel.WithStages(2))
+	resp2, body2 := post(t, ts.URL+"/v1/plan", scenarioJSON(t, block))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("pipeline-block respelling X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("respelled staged request served different bytes")
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Errorf("cache entries = %d, want 1 (one canonical staged question)", st.Entries)
+	}
+}
+
 // TestLRUEviction: the cache respects its capacity and evicts the least
 // recently used entry.
 func TestLRUEviction(t *testing.T) {

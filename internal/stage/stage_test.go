@@ -1,0 +1,227 @@
+package stage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		starts []int
+		L      int
+		ok     bool
+	}{
+		{"single stage", []int{0}, 8, true},
+		{"two stages", []int{0, 4}, 8, true},
+		{"every layer its own stage", []int{0, 1, 2, 3}, 4, true},
+		{"empty starts", nil, 8, false},
+		{"zero layers", []int{0}, 0, false},
+		{"first start nonzero", []int{1, 4}, 8, false},
+		{"not increasing", []int{0, 4, 4}, 8, false},
+		{"start past end", []int{0, 8}, 8, false},
+		{"more stages than layers", []int{0, 1, 2}, 2, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.starts, c.L)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: New(%v, %d) err=%v, want ok=%v", c.name, c.starts, c.L, err, c.ok)
+		}
+	}
+}
+
+func TestFromCutsRoundTrip(t *testing.T) {
+	p, err := FromCuts([]int{3, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cuts(); !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Fatalf("Cuts() = %v, want [3 5]", got)
+	}
+	if p.Stages() != 3 {
+		t.Fatalf("Stages() = %d, want 3", p.Stages())
+	}
+	if p.String() != "0-2|3-4|5-7" {
+		t.Fatalf("String() = %q", p.String())
+	}
+}
+
+func TestStageOfAndBounds(t *testing.T) {
+	p, _ := New([]int{0, 3, 5}, 8)
+	wantStage := []int{0, 0, 0, 1, 1, 2, 2, 2}
+	for i, w := range wantStage {
+		if got := p.StageOf(i); got != w {
+			t.Errorf("StageOf(%d) = %d, want %d", i, got, w)
+		}
+	}
+	type rng struct{ lo, hi int }
+	want := []rng{{0, 3}, {3, 5}, {5, 8}}
+	for k, w := range want {
+		lo, hi := p.Bounds(k)
+		if lo != w.lo || hi != w.hi {
+			t.Errorf("Bounds(%d) = [%d,%d), want [%d,%d)", k, lo, hi, w.lo, w.hi)
+		}
+		if p.Size(k) != w.hi-w.lo {
+			t.Errorf("Size(%d) = %d, want %d", k, p.Size(k), w.hi-w.lo)
+		}
+	}
+}
+
+// Balanced must match the scheduler's historical count-balanced rule
+// stageOf(i, L) = i*S/L for every (L, S, i).
+func TestBalancedMatchesSchedulerRule(t *testing.T) {
+	for L := 1; L <= 24; L++ {
+		for S := 1; S <= L; S++ {
+			p := Balanced(L, S)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Balanced(%d,%d) invalid: %v", L, S, err)
+			}
+			for i := 0; i < L; i++ {
+				if got, want := p.StageOf(i), i*S/L; got != want {
+					t.Fatalf("Balanced(%d,%d).StageOf(%d) = %d, want %d", L, S, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedComputeOptimal(t *testing.T) {
+	// Brute-force the bottleneck over all partitions and check
+	// BalancedCompute achieves it.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		L := 2 + rng.Intn(9)
+		S := 1 + rng.Intn(L)
+		costs := make([]float64, L)
+		for i := range costs {
+			costs[i] = rng.Float64() * 10
+		}
+		best := bruteBottleneck(costs, S)
+		p := BalancedCompute(costs, S)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("BalancedCompute invalid: %v", err)
+		}
+		got := bottleneck(costs, p)
+		if got > best*(1+1e-9) {
+			t.Fatalf("L=%d S=%d costs=%v: BalancedCompute bottleneck %g > optimal %g (partition %v)",
+				L, S, costs, got, best, p.Starts)
+		}
+	}
+}
+
+func TestBalancedComputeSkewed(t *testing.T) {
+	// One huge layer should sit alone; the rest split across the other
+	// stage.
+	costs := []float64{1, 1, 100, 1, 1}
+	p := BalancedCompute(costs, 2)
+	// Optimal bottleneck is 102 ({1,1,100}|{1,1}) — the greedy fill
+	// front-loads under the bottleneck.
+	if got := bottleneck(costs, p); got > 102+1e-9 {
+		t.Fatalf("bottleneck %g too large for partition %v", got, p.Starts)
+	}
+}
+
+func TestBalancedComputeAllZeros(t *testing.T) {
+	p := BalancedCompute(make([]float64, 5), 3)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("all-zero costs produced invalid partition %v: %v", p.Starts, err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct{ L, S, want int }{
+		{8, 1, 1}, {8, 2, 7}, {8, 3, 21}, {8, 8, 1}, {5, 3, 6}, {2, 3, 0},
+	}
+	for _, c := range cases {
+		if got := Count(c.L, c.S, 0); got != c.want {
+			t.Errorf("Count(%d,%d) = %d, want %d", c.L, c.S, got, c.want)
+		}
+	}
+	// Cap clamps instead of overflowing.
+	if got := Count(60, 30, 100); got != 101 {
+		t.Errorf("Count(60,30,cap=100) = %d, want 101 (cap+1)", got)
+	}
+}
+
+func TestEnumerateExhaustiveUnderCap(t *testing.T) {
+	costs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	parts := Enumerate(costs, 3, 64) // C(7,2) = 21 ≤ 64
+	if len(parts) != 21 {
+		t.Fatalf("got %d partitions, want 21", len(parts))
+	}
+	if !parts[0].Equal(BalancedCompute(costs, 3)) {
+		t.Fatalf("first partition %v is not the balanced-compute anchor", parts[0].Starts)
+	}
+	seen := map[string]bool{}
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid partition %v: %v", p.Starts, err)
+		}
+		k := p.String()
+		if seen[k] {
+			t.Fatalf("duplicate partition %s", k)
+		}
+		seen[k] = true
+	}
+	// Deterministic across calls.
+	again := Enumerate(costs, 3, 64)
+	if !reflect.DeepEqual(parts, again) {
+		t.Fatal("Enumerate is not deterministic")
+	}
+}
+
+func TestEnumerateHeuristicOverCap(t *testing.T) {
+	costs := make([]float64, 16)
+	for i := range costs {
+		costs[i] = float64(1 + i%4)
+	}
+	parts := Enumerate(costs, 5, 10) // C(15,4) = 1365 > 10
+	if len(parts) == 0 {
+		t.Fatal("no heuristic partitions")
+	}
+	if len(parts) > 2+4*4+1 {
+		t.Fatalf("heuristic set unexpectedly large: %d", len(parts))
+	}
+	if !parts[0].Equal(BalancedCompute(costs, 5)) {
+		t.Fatal("anchor not first")
+	}
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("invalid heuristic partition %v: %v", p.Starts, err)
+		}
+	}
+}
+
+func TestEnumerateSingleStage(t *testing.T) {
+	parts := Enumerate([]float64{1, 2, 3}, 1, 64)
+	if len(parts) != 1 || !parts[0].Equal(Partition{Starts: []int{0}, L: 3}) {
+		t.Fatalf("S=1 should yield exactly the trivial partition, got %v", parts)
+	}
+}
+
+func bottleneck(costs []float64, p Partition) float64 {
+	worst := 0.0
+	for k := 0; k < p.Stages(); k++ {
+		lo, hi := p.Bounds(k)
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += costs[i]
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+func bruteBottleneck(costs []float64, S int) float64 {
+	best := -1.0
+	walk(len(costs), S, func(starts []int) {
+		p := Partition{Starts: append([]int(nil), starts...), L: len(costs)}
+		if b := bottleneck(costs, p); best < 0 || b < best {
+			best = b
+		}
+	})
+	return best
+}

@@ -132,6 +132,22 @@ type Layer struct {
 	GradReduce float64 // ∆W all-reduce
 	BwdHalo    float64 // backward output halo exchange
 
+	// FwdXfer/BwdXfer price the inter-stage pipeline handoff at this
+	// layer: when the layer opens a pipeline stage (SimulatePipeline with
+	// a partition starting here), its input activations arrive from the
+	// previous stage over one point-to-point transfer of FwdXfer seconds,
+	// and its input gradient ∆X returns over one of BwdXfer seconds. A
+	// handoff is a true data dependency — it blocks this layer's FwdComp
+	// (and the downstream stage's backprop) under every overlap policy.
+	// Unlike the collective fields the handoff crosses exactly one link
+	// level, named by XferLevel when the layer carries a Levels split
+	// (ignored on flat layers, which use the single Network lane). Both
+	// fields are ignored by SimulateLayers and by layers that do not open
+	// a stage.
+	FwdXfer   float64
+	BwdXfer   float64
+	XferLevel int
+
 	// Levels, when non-nil, splits every communication field across the
 	// per-level link lanes of a hierarchical machine (NetworkLevel(i));
 	// each split must sum back to its flat field (validated). When nil
@@ -158,9 +174,10 @@ func (l Layer) commDur(k Kind) float64 {
 	panic(fmt.Sprintf("timeline: kind %v is not communication", k))
 }
 
-// CommSeconds returns the layer's total time on the link.
+// CommSeconds returns the layer's total time on the link, including any
+// inter-stage handoff priced at this layer.
 func (l Layer) CommSeconds() float64 {
-	return l.AllGather + l.FwdHalo + l.ActReduce + l.GradReduce + l.BwdHalo
+	return l.AllGather + l.FwdHalo + l.ActReduce + l.GradReduce + l.BwdHalo + l.FwdXfer + l.BwdXfer
 }
 
 // CompSeconds returns the layer's total time on the compute pipe.
@@ -179,6 +196,12 @@ func (l Layer) validate(i int) {
 	check("ActReduce", l.ActReduce)
 	check("GradReduce", l.GradReduce)
 	check("BwdHalo", l.BwdHalo)
+	check("FwdXfer", l.FwdXfer)
+	check("BwdXfer", l.BwdXfer)
+	if (l.FwdXfer > 0 || l.BwdXfer > 0) && (l.XferLevel < 0 || l.XferLevel >= MaxNetworkLevels) {
+		panic(fmt.Sprintf("timeline: layer %d (%s): handoff level %d outside [0,%d)",
+			i, l.Name, l.XferLevel, MaxNetworkLevels))
+	}
 	if l.Levels == nil {
 		return
 	}

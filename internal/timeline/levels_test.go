@@ -11,7 +11,7 @@ func TestLevelsSelectLanes(t *testing.T) {
 	flat := []Layer{{Name: "a", FwdComp: 1, AllGather: 2, BwdComp: 1, GradReduce: 3}}
 	r := mustSimulate(t, flat, PolicyBackprop)
 	for _, s := range r.Spans {
-		if s.Resource == NetworkIntra || s.Resource == NetworkInter {
+		if s.Resource == NetworkLevel(0) || s.Resource == NetworkLevel(1) {
 			t.Fatalf("flat layer scheduled %q on %v", s.Name, s.Resource)
 		}
 	}
@@ -31,8 +31,8 @@ func TestLevelsSelectLanes(t *testing.T) {
 			t.Fatalf("split layer scheduled %q on the flat Network lane", s.Name)
 		}
 	}
-	if counts[NetworkIntra] != 2 || counts[NetworkInter] != 2 {
-		t.Fatalf("lane counts = %v, want 2 intra + 2 inter", counts)
+	if counts[NetworkLevel(0)] != 2 || counts[NetworkLevel(1)] != 2 {
+		t.Fatalf("lane counts = %v, want 2 on level 0 + 2 on level 1", counts)
 	}
 	// Busy-time accounting still sees the full communication.
 	if !approx(r.CommSeconds, 5, 1e-12) {
@@ -52,7 +52,7 @@ func TestLevelsIntraPrecedesInter(t *testing.T) {
 		if s.Kind != AllGather {
 			continue
 		}
-		if s.Resource == NetworkIntra {
+		if s.Resource == NetworkLevel(0) {
 			intra = s
 		} else {
 			inter = s
@@ -133,17 +133,13 @@ func TestLaneName(t *testing.T) {
 		}
 	}
 	flat := &Result{}
-	if got := flat.LaneName(NetworkIntra); got != "net-intra" {
-		t.Fatalf("unnamed LaneName(NetworkIntra) = %q, want net-intra", got)
+	if got := flat.LaneName(NetworkLevel(0)); got != "net-l0" {
+		t.Fatalf("unnamed LaneName(NetworkLevel(0)) = %q, want net-l0", got)
 	}
 }
 
 // NetworkLevel rejects levels outside the reserved lane set.
 func TestNetworkLevelBounds(t *testing.T) {
-	if NetworkLevel(0) != NetworkIntra || NetworkLevel(1) != NetworkInter {
-		t.Fatalf("NetworkLevel(0,1) = %v,%v; want the intra/inter aliases",
-			NetworkLevel(0), NetworkLevel(1))
-	}
 	for _, bad := range []int{-1, MaxNetworkLevels} {
 		func() {
 			defer func() {

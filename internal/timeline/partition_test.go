@@ -1,0 +1,163 @@
+package timeline
+
+import (
+	"reflect"
+	"testing"
+)
+
+func pipeLayers() []Layer {
+	return []Layer{
+		{Name: "a", FwdComp: 1, BwdComp: 2, GradReduce: 0.5},
+		{Name: "b", FwdComp: 2, BwdComp: 4, AllGather: 0.3, ActReduce: 0.2},
+		{Name: "c", FwdComp: 1.5, BwdComp: 3, GradReduce: 0.4},
+		{Name: "d", FwdComp: 0.5, BwdComp: 1},
+	}
+}
+
+// An explicit partition equal to the count-balanced default must yield
+// the exact same schedule, event for event.
+func TestExplicitBalancedPartitionIsIdentity(t *testing.T) {
+	for _, shape := range []Shape{GPipe, OneFOneB} {
+		for _, policy := range []Policy{PolicyNone, PolicyBackprop, PolicyFull} {
+			implicit := Schedule{Shape: shape, MicroBatches: 3, Stages: 2}
+			explicit := implicit
+			explicit.Partition = []int{0, 2} // ⌈k·4/2⌉ = 0, 2
+			a, err := SimulatePipeline(pipeLayers(), policy, implicit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := SimulatePipeline(pipeLayers(), policy, explicit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Spans, b.Spans) {
+				t.Fatalf("%v/%v: explicit balanced partition changed the schedule", shape, policy)
+			}
+		}
+	}
+}
+
+// A skewed partition moves layers between stage pipes.
+func TestSkewedPartitionMovesWork(t *testing.T) {
+	sched := Schedule{Shape: GPipe, MicroBatches: 2, Stages: 2, Partition: []int{0, 1}}
+	r, err := SimulatePipeline(pipeLayers(), PolicyBackprop, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Spans {
+		if s.Resource.Base() != Compute {
+			continue
+		}
+		wantStage := 1
+		if s.Layer == 0 {
+			wantStage = 0
+		}
+		if got := s.Resource.PipelineStage(); got != wantStage {
+			t.Fatalf("layer %d compute on stage %d, want %d", s.Layer, got, wantStage)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	bad := []Schedule{
+		{Shape: GPipe, MicroBatches: 1, Stages: 2, Partition: []int{0}},       // len ≠ S
+		{Shape: GPipe, MicroBatches: 1, Stages: 2, Partition: []int{1, 2}},    // must start at 0
+		{Shape: GPipe, MicroBatches: 1, Stages: 2, Partition: []int{0, 0}},    // not increasing
+		{Shape: GPipe, MicroBatches: 1, Stages: 2, Partition: []int{0, 4}},    // past the layer list
+		{Shape: GPipe, MicroBatches: 1, Stages: 3, Partition: []int{0, 2, 1}}, // not increasing
+	}
+	for _, sched := range bad {
+		if _, err := SimulatePipeline(pipeLayers(), PolicyBackprop, sched); err == nil {
+			t.Fatalf("schedule %+v: expected validation error", sched)
+		}
+	}
+}
+
+// A boundary handoff is emitted on the receiving stage's lane going
+// forward and the sending-side stage's lane going backward, and it
+// gates the downstream compute even under PolicyFull.
+func TestBoundaryHandoffEvents(t *testing.T) {
+	layers := pipeLayers()
+	layers[2].FwdXfer = 10
+	layers[2].BwdXfer = 7
+	sched := Schedule{Shape: GPipe, MicroBatches: 1, Stages: 2, Partition: []int{0, 2}}
+	r, err := SimulatePipeline(layers, PolicyFull, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwd, bwd, fwdC2 *Span
+	for i := range r.Spans {
+		s := &r.Spans[i]
+		switch {
+		case s.Kind == FwdXfer:
+			fwd = s
+		case s.Kind == BwdXfer:
+			bwd = s
+		case s.Kind == FwdComp && s.Layer == 2:
+			fwdC2 = s
+		}
+	}
+	if fwd == nil || bwd == nil || fwdC2 == nil {
+		t.Fatal("missing handoff or boundary compute spans")
+	}
+	if fwd.Resource != StageResource(Network, 1) {
+		t.Fatalf("forward handoff on %v, want %v", fwd.Resource, StageResource(Network, 1))
+	}
+	if bwd.Resource != Network { // stage 0's lane
+		t.Fatalf("backward handoff on %v, want %v", bwd.Resource, Network)
+	}
+	// PolicyFull un-blocks collectives but not the handoff: layer 2's
+	// forward cannot start before the 10s transfer lands.
+	if fwdC2.Start < fwd.End-1e-12 {
+		t.Fatalf("boundary forward started at %g before handoff end %g", fwdC2.Start, fwd.End)
+	}
+	// Both handoffs are accounted as communication.
+	if r.CommSeconds < 17 {
+		t.Fatalf("CommSeconds = %g, want ≥ 17 (handoffs included)", r.CommSeconds)
+	}
+}
+
+// Hierarchically priced layers put the handoff on the lane of the level
+// the boundary crosses.
+func TestBoundaryHandoffLevelLane(t *testing.T) {
+	layers := pipeLayers()
+	layers[1].Levels = &LayerLevels{Names: []string{"node", "rack", "spine"},
+		AllGather: []float64{0.3}, ActReduce: []float64{0.2}}
+	layers[2].Levels = &LayerLevels{Names: []string{"node", "rack", "spine"},
+		GradReduce: []float64{0.4}}
+	layers[2].FwdXfer = 1
+	layers[2].BwdXfer = 1
+	layers[2].XferLevel = 2 // boundary crosses the spine
+	sched := Schedule{Shape: GPipe, MicroBatches: 1, Stages: 2, Partition: []int{0, 2}}
+	r, err := SimulatePipeline(layers, PolicyBackprop, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Spans {
+		if s.Kind == FwdXfer && s.Resource != StageResource(NetworkLevel(2), 1) {
+			t.Fatalf("forward handoff on %v, want spine lane of stage 1", s.Resource)
+		}
+		if s.Kind == BwdXfer && s.Resource != NetworkLevel(2) {
+			t.Fatalf("backward handoff on %v, want spine lane of stage 0", s.Resource)
+		}
+	}
+}
+
+// Zero-cost handoffs leave the event graph untouched — partitioned
+// schedules without priced boundaries remain bit-identical.
+func TestZeroHandoffIsFree(t *testing.T) {
+	sched := Schedule{Shape: OneFOneB, MicroBatches: 4, Stages: 2, Partition: []int{0, 2}}
+	base, err := SimulatePipeline(pipeLayers(), PolicyBackprop, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := pipeLayers()
+	layers[2].XferLevel = 1 // level set but no seconds: still free
+	again, err := SimulatePipeline(layers, PolicyBackprop, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Spans, again.Spans) {
+		t.Fatal("zero-duration handoff changed the schedule")
+	}
+}

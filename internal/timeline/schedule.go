@@ -31,6 +31,7 @@ package timeline
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -100,12 +101,17 @@ type Schedule struct {
 	// micro-batches and the layer durations handed to SimulatePipeline
 	// are per-micro-batch (size B/M).
 	MicroBatches int
-	// Stages is S ≥ 1: the layer list is partitioned into S contiguous,
-	// count-balanced stages (layer i belongs to stage ⌊i·S/L⌋), each
-	// owning its own compute pipe and network lanes. S = 1 is
-	// inter-batch pipelining on a single device group — micro-batches
+	// Stages is S ≥ 1: the layer list is partitioned into S contiguous
+	// stages, each owning its own compute pipe and network lanes. S = 1
+	// is inter-batch pipelining on a single device group — micro-batches
 	// overlap each other's communication and compute on shared lanes.
 	Stages int
+	// Partition, when non-empty, lists each stage's first layer index
+	// (Partition[0] == 0, strictly increasing, len == Stages) — an
+	// explicit contiguous layer→stage assignment, typically a
+	// stage.Partition's Starts. When empty the layers fall back to the
+	// count-balanced rule (layer i belongs to stage ⌊i·S/L⌋).
+	Partition []int
 }
 
 // Single is the degenerate schedule: one micro-batch, one stage —
@@ -130,12 +136,35 @@ func (s Schedule) Validate(numLayers int) error {
 	if numLayers > 0 && s.Stages > numLayers {
 		return fmt.Errorf("timeline: %d stages exceed %d layers (a stage cannot be empty)", s.Stages, numLayers)
 	}
+	if len(s.Partition) > 0 {
+		if len(s.Partition) != s.Stages {
+			return fmt.Errorf("timeline: partition %v has %d stages, schedule says %d", s.Partition, len(s.Partition), s.Stages)
+		}
+		if s.Partition[0] != 0 {
+			return fmt.Errorf("timeline: partition must start at layer 0, got %v", s.Partition)
+		}
+		for k := 1; k < len(s.Partition); k++ {
+			if s.Partition[k] <= s.Partition[k-1] {
+				return fmt.Errorf("timeline: partition starts must be strictly increasing, got %v", s.Partition)
+			}
+			if numLayers > 0 && s.Partition[k] >= numLayers {
+				return fmt.Errorf("timeline: partition start %d outside the %d-layer list", s.Partition[k], numLayers)
+			}
+		}
+	}
 	return nil
 }
 
-// stageOf returns the pipeline stage of layer i out of L: contiguous,
-// count-balanced groups (stage k covers layers ⌈kL/S⌉ … ⌈(k+1)L/S⌉−1).
-func (s Schedule) stageOf(i, L int) int { return i * s.Stages / L }
+// stageOf returns the pipeline stage of layer i out of L: the owning
+// range of the explicit Partition when one is set, otherwise the
+// contiguous count-balanced rule (stage k covers layers
+// ⌈kL/S⌉ … ⌈(k+1)L/S⌉−1).
+func (s Schedule) stageOf(i, L int) int {
+	if len(s.Partition) > 0 {
+		return sort.SearchInts(s.Partition, i+1) - 1
+	}
+	return i * s.Stages / L
+}
 
 // SimulatePipeline builds the multi-iteration event graph for the given
 // overlap policy and schedule and runs it. Layer durations are
@@ -220,6 +249,27 @@ func buildPipelineEvents(layers []Layer, policy Policy, sched Schedule) []Event 
 		}
 		return out
 	}
+	// xfer emits one inter-stage handoff on the receiving stage's link
+	// lane (the boundary's own level lane when the layer is priced
+	// hierarchically). It reports whether an event was emitted so callers
+	// leave dependency handles untouched for zero-duration handoffs —
+	// keeping partitioned schedules with free boundaries bit-identical to
+	// unpartitioned ones.
+	xfer := func(micro, layer int, kind Kind, toStage int, deps []int) ([]int, bool) {
+		l := layers[layer]
+		dur := l.FwdXfer
+		if kind == BwdXfer {
+			dur = l.BwdXfer
+		}
+		if dur == 0 {
+			return nil, false
+		}
+		res := StageResource(Network, toStage)
+		if l.Levels != nil {
+			res = StageResource(NetworkLevel(l.XferLevel), toStage)
+		}
+		return add(micro, layer, kind, res, dur, deps), true
+	}
 	comm := func(micro, layer int, kind Kind, deps []int) []int {
 		l := layers[layer]
 		st := stage(layer)
@@ -266,6 +316,15 @@ func buildPipelineEvents(layers []Layer, policy Policy, sched Schedule) []Event 
 				// because 1F1B emission alternates F_m, B_m below.
 				if k := m - (S - stage(i)); k >= 0 {
 					deps = union(deps, bwdDone[k][i])
+				}
+			}
+			if st := stage(i); i == stageFirst[st] && st > 0 {
+				// Pipeline boundary: the layer's input activations arrive
+				// from the previous stage. The handoff is a true data
+				// dependency — it gates this layer's forward under every
+				// policy, unlike the collectives PolicyFull un-blocks.
+				if ev, ok := xfer(m, i, FwdXfer, st, deps); ok {
+					deps = union(deps, ev)
 				}
 			}
 			halo := comm(m, i, FwdHalo, deps)
@@ -317,6 +376,16 @@ func buildPipelineEvents(layers []Layer, policy Policy, sched Schedule) []Event 
 				comm(m, i, GradReduce, commDeps)
 			}
 			prevBwd = bwd
+			if st := stage(i); i == stageFirst[st] && st > 0 {
+				// Pipeline boundary: ∆X returns to the previous stage.
+				// Like the other backward communication it streams with the
+				// producing backprop, but the downstream stage's next
+				// backprop genuinely needs the received gradient, so the
+				// handoff joins the backward chain handle.
+				if ev, ok := xfer(m, i, BwdXfer, st-1, commDeps); ok {
+					prevBwd = union(bwd, ev)
+				}
+			}
 			bwdDone[m][i] = bwd
 		}
 	}

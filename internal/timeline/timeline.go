@@ -70,14 +70,6 @@ const (
 	numBaseResources = networkLevel0 + MaxNetworkLevels
 )
 
-// NetworkIntra and NetworkInter are the innermost two level lanes — the
-// node and cluster levels of the two-level node/cluster topology that
-// used to be the only hierarchical shape.
-const (
-	NetworkIntra = networkLevel0
-	NetworkInter = networkLevel0 + 1
-)
-
 // NetworkLevel returns the link lane of hierarchy level i (innermost
 // first, matching machine.Topology.Levels order).
 func NetworkLevel(i int) Resource {
@@ -116,10 +108,6 @@ func (r Resource) String() string {
 		name = "compute"
 	case Network:
 		name = "network"
-	case NetworkIntra:
-		name = "net-intra"
-	case NetworkInter:
-		name = "net-inter"
 	default:
 		name = fmt.Sprintf("net-l%d", int(base-networkLevel0))
 	}
@@ -140,6 +128,8 @@ const (
 	ActReduce  // backprop ∆X all-reduce (model parallelism)
 	GradReduce // ∆W all-reduce (batch parallelism)
 	BwdHalo    // backward output halo exchange (domain parallelism)
+	FwdXfer    // inter-stage activation handoff (pipeline boundary, forward)
+	BwdXfer    // inter-stage ∆X handoff (pipeline boundary, backward)
 )
 
 func (k Kind) String() string {
@@ -158,6 +148,10 @@ func (k Kind) String() string {
 		return "∆W allred"
 	case BwdHalo:
 		return "halo←"
+	case FwdXfer:
+		return "xfer→"
+	case BwdXfer:
+		return "xfer←"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

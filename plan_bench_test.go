@@ -65,6 +65,23 @@ func BenchmarkPlanScenarioPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanScenarioStages adds the stage-partition dimensions on
+// top of the pipeline search: S = 2 stages, per-stage grids of P/2
+// ranks, and the layer-cut co-search (7 two-stage partitions of
+// AlexNet's 8 weighted layers per grid).
+func BenchmarkPlanScenarioStages(b *testing.B) {
+	sc := New("alexnet", 2048, 512,
+		WithTimeline(PolicyBackprop),
+		WithMicroBatches(ScheduleOneFOneB, 1, 2, 4, 8),
+		WithStages(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScenarioCanonical times the cache-key path alone: the
 // dnnserve per-request fixed cost even on a hit.
 func BenchmarkScenarioCanonical(b *testing.B) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dnnparallel/internal/grid"
+	"dnnparallel/internal/machine"
 	"dnnparallel/internal/nn"
 	"dnnparallel/internal/planner"
 	"dnnparallel/internal/timeline"
@@ -17,6 +18,37 @@ type LayerStrategy struct {
 	Output   string `json:"output"`
 	Weights  int    `json:"weights"`
 	Strategy string `json:"strategy"`
+}
+
+// StageSummary is one row of a stage-partitioned plan's per-stage table:
+// which layers the stage owns, where its rank block sits, what it
+// computes, communicates, and stashes, and what its incoming boundary
+// handoff costs — with the topology level the cut crosses.
+type StageSummary struct {
+	Stage int `json:"stage"`
+	// Layers is the "first-last" weighted-layer range by network layer
+	// name, LayerCount the number of weighted layers.
+	Layers     string `json:"layers"`
+	LayerCount int    `json:"layer_count"`
+	// Grid is the stage's process grid, RankOffset the machine rank its
+	// block starts at.
+	Grid       string `json:"grid"`
+	RankOffset int    `json:"rank_offset"`
+	// ParamWords is the stage's total (unsharded) weight words.
+	ParamWords float64 `json:"param_words"`
+	// CompSeconds/CommSeconds are per micro-batch: the stage's GEMM time
+	// and its Eq. 3–9 collective time.
+	CompSeconds float64 `json:"comp_seconds"`
+	CommSeconds float64 `json:"comm_seconds"`
+	// StashBytes is the per-process activation stash high-water mark.
+	StashBytes float64 `json:"stash_bytes"`
+	// BoundaryBytes is the per-micro-batch activation volume handed into
+	// this stage (0 for stage 0), BoundarySeconds its forward+backward
+	// transfer cost, and BoundaryLevel the topology level the cut
+	// crosses ("" on a flat machine).
+	BoundaryBytes   float64 `json:"boundary_bytes,omitempty"`
+	BoundarySeconds float64 `json:"boundary_seconds,omitempty"`
+	BoundaryLevel   string  `json:"boundary_level,omitempty"`
 }
 
 // PlanSummary is the serializable view of one evaluated configuration —
@@ -33,6 +65,15 @@ type PlanSummary struct {
 	MicroBatch     int            `json:"micro_batch,omitempty"`
 	Schedule       timeline.Shape `json:"schedule"`
 	BubbleFraction float64        `json:"bubble_fraction,omitempty"`
+
+	// Stages, Partition, and PerStage describe stage-partitioned plans:
+	// the stage count (omitted for classic single-stage plans, where
+	// Grid spans the whole machine), the cut positions into the
+	// weighted-layer list, and the per-stage table. For Stages > 1,
+	// Grid is the shared per-stage grid.
+	Stages    int            `json:"stages,omitempty"`
+	Partition []int          `json:"partition,omitempty"`
+	PerStage  []StageSummary `json:"per_stage,omitempty"`
 
 	CommSeconds        float64 `json:"comm_seconds"`
 	CompSeconds        float64 `json:"comp_seconds"`
@@ -133,6 +174,22 @@ func (e *InfeasibleError) Error() string {
 	return fmt.Sprintf("dnnparallel: no feasible plan for %s: %s", e.Scenario, e.Reason)
 }
 
+// layerRange renders a stage's inclusive layer slice as "first-last" by
+// layer name, or by index when the network is not at hand (the All
+// table).
+func layerRange(net *nn.Network, first, last int) string {
+	if net == nil {
+		if first == last {
+			return fmt.Sprintf("#%d", first)
+		}
+		return fmt.Sprintf("#%d-#%d", first, last)
+	}
+	if first == last {
+		return net.Layers[first].Name
+	}
+	return net.Layers[first].Name + "-" + net.Layers[last].Name
+}
+
 // summarize translates one planner.Plan. The assignment table is filled
 // only when net is non-nil (the best plan).
 func summarize(p planner.Plan, net *nn.Network) PlanSummary {
@@ -151,6 +208,27 @@ func summarize(p planner.Plan, net *nn.Network) PlanSummary {
 		MemoryWords:        p.MemoryWords,
 		Feasible:           p.Feasible,
 		Reason:             p.Reason,
+	}
+	if p.Stages > 1 {
+		s.Stages = p.Stages
+		s.Partition = append([]int(nil), p.Partition...)
+		for _, sc := range p.PerStage {
+			row := StageSummary{
+				Stage:           sc.Stage,
+				Layers:          layerRange(net, sc.FirstLayer, sc.LastLayer),
+				LayerCount:      sc.Layers,
+				Grid:            sc.Grid.String(),
+				RankOffset:      sc.RankOffset,
+				ParamWords:      sc.ParamWords,
+				CompSeconds:     sc.CompSeconds,
+				CommSeconds:     sc.CommSeconds,
+				StashBytes:      sc.StashWords * machine.WordBytes,
+				BoundaryBytes:   sc.BoundaryWords * machine.WordBytes,
+				BoundarySeconds: sc.BoundarySeconds,
+				BoundaryLevel:   sc.BoundaryLevelName,
+			}
+			s.PerStage = append(s.PerStage, row)
+		}
 	}
 	if net != nil && p.Assignment != nil {
 		lis := make([]int, 0, len(p.Assignment))
