@@ -38,6 +38,7 @@ func main() {
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "plan-cache capacity in entries (negative disables caching)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
 	logJSON := flag.Bool("log-json", false, "emit request logs as JSON lines instead of logfmt-style text")
+	workers := flag.Int("workers", 0, "planner search workers for requests that leave search.workers unset (0 = planner default; never changes any response)")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -46,7 +47,7 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	srv := serve.New(serve.Config{CacheSize: *cacheSize, Logger: logger})
+	srv := serve.New(serve.Config{CacheSize: *cacheSize, Logger: logger, Workers: *workers})
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	if *pprofOn {

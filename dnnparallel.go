@@ -51,6 +51,10 @@ type (
 	PipelineSpec = scenario.PipelineSpec
 	// PartitionSpec selects the stage partition: "auto" or explicit cuts.
 	PartitionSpec = scenario.PartitionSpec
+	// SearchSpec tunes the search engine (worker count, branch-and-bound
+	// pruning); it never changes the returned plan, only how fast it is
+	// found.
+	SearchSpec = scenario.SearchSpec
 	// ValidationError is returned for every malformed scenario.
 	ValidationError = scenario.ValidationError
 
@@ -224,6 +228,31 @@ func WithRedistribution() Option {
 // Simulate requires it.
 func WithGrid(pr, pc int) Option {
 	return func(s *Scenario) { s.Grid = grid.Grid{Pr: pr, Pc: pc}.String() }
+}
+
+// WithWorkers sets the number of candidate-evaluation goroutines the
+// search uses (0 = GOMAXPROCS). The engine is deterministic: the worker
+// count never changes the returned plan, only wall time.
+func WithWorkers(n int) Option {
+	return func(s *Scenario) {
+		if s.Search == nil {
+			s.Search = &SearchSpec{}
+		}
+		s.Search.Workers = n
+	}
+}
+
+// WithoutBounds disables the search's branch-and-bound pruning, so every
+// losing candidate carries full pricing detail in the result (the winner
+// is identical either way).
+func WithoutBounds() Option {
+	return func(s *Scenario) {
+		if s.Search == nil {
+			s.Search = &SearchSpec{}
+		}
+		off := false
+		s.Search.Bounds = &off
+	}
 }
 
 // LoadScenario reads a scenario JSON file (unknown fields are rejected).

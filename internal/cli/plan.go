@@ -83,7 +83,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	stages := fs.Int("stages", 0, "pipeline stage count S; > 1 partitions the network into S contiguous stages, each on its own P/S-rank grid, and co-searches the layer cuts (enables timeline scoring)")
 	partition := fs.String("partition", "", `pipeline layer partition: "auto" (search the cuts) or comma-separated cut positions into the weighted-layer list, e.g. "6" splits before the 7th weighted layer`)
 	gantt := fs.Bool("gantt", false, "print the best plan's per-layer schedule (needs timeline scoring)")
-	stats := fs.Bool("stats", false, "print the planner's search telemetry (candidates enumerated/pruned/priced, best-cost trajectory, phase wall times)")
+	stats := fs.Bool("stats", false, "print the planner's search telemetry (candidates enumerated/pruned/priced, branch-and-bound cuts [bounded], best-cost trajectory, phase wall times)")
 	gridName := fs.String("grid", "", "pin one PrxPc factorization instead of searching (e.g. 8x64)")
 	alpha := fs.Float64("alpha", 0, "network latency α in seconds (default 2e-6; the inter-node link on a two-level topology)")
 	bwGB := fs.Float64("bw", 0, "network bandwidth 1/β in GB/s (default 6; the inter-node link on a two-level topology)")
@@ -93,6 +93,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	intraBwGB := fs.Float64("intra-bw", 0, "intra-node bandwidth 1/β in GB/s (default 60; with -ppn)")
 	levels := fs.String("levels", "", "N-level hierarchical topology as name:alpha:bw[:group],… innermost first (e.g. node:5e-7:60:16,rack:1e-6:12:128,spine:2e-6:6); replaces the -nodes/-ppn/-intra-* two-level sugar")
 	placementName := fs.String("placement", "", "pin the rank placement: row-major|col-major (default: search both)")
+	workers := fs.Int("workers", 0, "candidate-evaluation goroutines for the search (0 = GOMAXPROCS); never changes the result, only wall time")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -151,6 +152,7 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 	if set["grid"] {
 		sc.Grid = *gridName
 	}
+	applyWorkersFlag(&sc, set, *workers)
 	if err := applyPipelineFlags(&sc, set, *stages, *partition); err != nil {
 		fmt.Fprintln(stderr, "dnnplan:", err)
 		return 2
@@ -197,6 +199,20 @@ func PlanMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// applyWorkersFlag lowers -workers onto the scenario's search block,
+// preserving any bounds setting a config file carries.
+func applyWorkersFlag(sc *dnnparallel.Scenario, set map[string]bool, workers int) {
+	if !set["workers"] {
+		return
+	}
+	se := &dnnparallel.SearchSpec{}
+	if sc.Search != nil {
+		*se = *sc.Search
+	}
+	se.Workers = workers
+	sc.Search = se
 }
 
 // applyPipelineFlags lowers -stages/-partition onto the scenario's

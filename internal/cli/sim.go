@@ -40,6 +40,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	ppn := fs.Int("ppn", 0, "ranks per node; > 0 prices the planner-backed experiments against the two-level Cori topology")
 	nodes := fs.Int("nodes", 0, "node count (with -ppn, defaults the process counts to nodes × ppn)")
 	levels := fs.String("levels", "", "N-level hierarchical topology as name:alpha:bw[:group],… innermost first (e.g. node:5e-7:60:16,rack:1e-6:12:128,spine:2e-6:6); replaces the -nodes/-ppn sugar")
+	workers := fs.Int("workers", 0, "candidate-evaluation goroutines for planner-backed experiments (0 = GOMAXPROCS); never changes the result, only wall time")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -110,6 +111,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dnnsim:", err)
 		return 2
 	}
+	applyWorkersFlag(&sc, set, *workers)
 	sc = sc.Normalize()
 	if *trace != "" {
 		// Trace export is a different product: simulate the pinned
@@ -159,6 +161,7 @@ func SimMain(args []string, stdout, stderr io.Writer) int {
 	setup := experiments.Default()
 	setup.Net = r.Net
 	setup.DatasetN = r.Options.DatasetN
+	setup.Workers = r.Options.Workers
 	if sc.Topology != nil {
 		setup.Topology = r.Options.Topology
 	} else {

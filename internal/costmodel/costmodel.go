@@ -356,6 +356,28 @@ func modelLayerCost(net *nn.Network, li, B int, pr *pricer, first bool) LayerCos
 	return lc
 }
 
+// FCGradReduceSeconds returns the summed ∆W all-reduce seconds of the
+// network's fully-connected layers under the Model strategy on grid g —
+// the exact rowAllReduce term modelLayerCost charges them. Every planner
+// mode assigns Model to FC layers (domain halos there would ship whole
+// activation panels, and conv-batch applies only to conv layers), so for
+// a fixed (grid, placement) this sum is a monotone additive floor under
+// any per-layer assignment: the branch-and-bound lower bound of the
+// planner's non-overlapped search adds it to the compute time before
+// deciding whether a candidate can still beat the incumbent.
+func (e Env) FCGradReduceSeconds(net *nn.Network, g grid.Grid) float64 {
+	pr := e.pricerFor(g)
+	var secs float64
+	for _, li := range net.WeightedLayers() {
+		l := &net.Layers[li]
+		if l.Kind != nn.FC {
+			continue
+		}
+		secs += pr.rowAllReduce(float64(l.Weights()) / float64(g.Pr)).Total()
+	}
+	return secs
+}
+
 // batchOnlyLayerCost is the Fig. 7 per-layer cost for a conv layer forced
 // to pure batch parallelism across all P processes.
 func batchOnlyLayerCost(net *nn.Network, li int, pr *pricer) LayerCost {

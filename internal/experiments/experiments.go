@@ -30,6 +30,9 @@ type Setup struct {
 	Topology machine.Topology
 	Compute  compute.Model
 	DatasetN int
+	// Workers is the planner's candidate-evaluation goroutine count
+	// (0 = GOMAXPROCS); the search result is identical for any value.
+	Workers int
 }
 
 // Default returns the paper's Table 1 configuration: AlexNet, ImageNet
@@ -51,6 +54,7 @@ func (s Setup) options(mode planner.Mode, overlap bool) planner.Options {
 		Mode:     mode,
 		Overlap:  overlap,
 		DatasetN: s.DatasetN,
+		Workers:  s.Workers,
 	}
 }
 

@@ -184,6 +184,23 @@ type Options struct {
 	// balanced-compute heuristic and its single-boundary perturbations
 	// (stage.Enumerate).
 	MaxPartitions int
+	// Workers is the number of goroutines evaluating candidates in
+	// parallel (0 ⇒ runtime.GOMAXPROCS(0)). Every candidate is a pure
+	// function of its inputs and the reduction runs serially in
+	// canonical order, so the Result — plans, stats, trajectory — is
+	// bit-identical for every worker count, including 1; parallelism
+	// changes only wall time.
+	Workers int
+	// DisableBounds switches off branch-and-bound pruning. With bounds
+	// on (the default), a candidate whose monotone compute lower bound
+	// already exceeds the best iteration time of earlier search chunks
+	// is counted SearchStats.Bounded and reported in Result.All as an
+	// unpriced infeasible placeholder instead of being priced and
+	// simulated. The winning plan, the pure-batch baseline, and the
+	// improvement trajectory are provably identical either way (a
+	// pruned candidate always loses to the plan that set the incumbent);
+	// disable to get exhaustive per-candidate pricing in Result.All.
+	DisableBounds bool
 }
 
 // DefaultOptions returns the paper's Table 1 configuration.
@@ -266,7 +283,14 @@ func layerComputeCosts(net *nn.Network) []float64 {
 // pinned Options.Partition when set, else stage.Enumerate over the
 // layer compute costs.
 func (o Options) partitions(net *nn.Network, S int) ([]stage.Partition, error) {
-	L := len(net.WeightedLayers())
+	return o.partitionsFrom(layerComputeCosts(net), S)
+}
+
+// partitionsFrom is partitions with the per-layer compute costs already
+// extracted, so a multi-stage-count search derives them from the network
+// once instead of per stage count.
+func (o Options) partitionsFrom(costs []float64, S int) ([]stage.Partition, error) {
+	L := len(costs)
 	if S > L {
 		return nil, fmt.Errorf("planner: S=%d stages exceed the network's %d weighted layers", S, L)
 	}
@@ -280,7 +304,7 @@ func (o Options) partitions(net *nn.Network, S int) ([]stage.Partition, error) {
 		}
 		return []stage.Partition{p}, nil
 	}
-	return stage.Enumerate(layerComputeCosts(net), S, o.maxPartitions()), nil
+	return stage.Enumerate(costs, S, o.maxPartitions()), nil
 }
 
 // Plan is one evaluated configuration.
@@ -628,9 +652,9 @@ func EvaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Opt
 
 func evaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, st *SearchStats) Plan {
 	micros := opts.microBatches()
-	best := evaluateMicroAt(net, B, g, pl, opts, micros[0], st)
+	best := evaluateMicroAt(net, B, g, pl, opts, micros[0], nil, st)
 	for _, m := range micros[1:] {
-		if p := evaluateMicroAt(net, B, g, pl, opts, m, st); p.Feasible &&
+		if p := evaluateMicroAt(net, B, g, pl, opts, m, nil, st); p.Feasible &&
 			(!best.Feasible || p.IterSeconds < best.IterSeconds ||
 				(p.IterSeconds == best.IterSeconds && p.MicroBatch < best.MicroBatch)) {
 			best = p
@@ -643,8 +667,10 @@ func evaluateAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Opt
 // the legacy single-iteration scoring for M = 1, the pipeline schedule
 // for M > 1. The telemetry collector st (nil outside Optimize) counts
 // the candidate and the pruning/pricing outcome and accumulates the
-// phase wall times.
-func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int, st *SearchStats) Plan {
+// phase wall times. cc, when non-nil, supplies the memoized per-layer
+// compute split (cached and freshly computed entries are bit-identical,
+// so plans do not depend on cache state).
+func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int, cc *computeCache, st *SearchStats) Plan {
 	if st != nil {
 		st.Candidates++
 	}
@@ -695,7 +721,14 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 		if st != nil {
 			simStart = time.Now()
 		}
-		times, overhead := opts.Compute.GridLayerTimes(net, B, g)
+		var times []compute.LayerTime
+		var overhead float64
+		if cc != nil {
+			gt := cc.peek(g, B)
+			times, overhead = gt.times, gt.overhead
+		} else {
+			times, overhead = opts.Compute.GridLayerTimes(net, B, g)
+		}
 		// The per-layer split plus the residual overhead *is* the grid
 		// compute time (compute.TestGridLayerTimesConservation); deriving
 		// CompSeconds from it keeps exposure = IterSeconds − CompSeconds
@@ -909,6 +942,21 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	var res Result
 	st := &res.Stats
 	wallStart := time.Now()
+	s := newSearch(net, B, P, opts)
+	s.enumerate(st)
+	st.EnumerateSeconds = time.Since(wallStart).Seconds()
+	evalStart := time.Now()
+	s.run(st)
+	evalWall := time.Since(evalStart).Seconds()
+	// The price/simulate phase times are summed across workers, so under
+	// parallelism their cpu-seconds can exceed the evaluation phase's
+	// wall clock; scale them onto it so the attribution identity
+	// Enumerate + Price + Simulate ≤ Wall survives any worker count.
+	if cpu := st.PriceSeconds + st.SimulateSeconds; cpu > evalWall {
+		f := evalWall / cpu
+		st.PriceSeconds *= f
+		st.SimulateSeconds *= f
+	}
 	best := math.Inf(1)
 	record := func(p Plan) {
 		res.All = append(res.All, p)
@@ -925,46 +973,24 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 			})
 		}
 	}
-	for _, S := range counts {
-		st.StageCountsSearched++
-		if S == 1 {
-			for _, g := range grid.Factorizations(P) {
-				st.GridsEnumerated++
-				p := evaluate(net, B, g, opts, st)
-				if g.IsPureBatch() {
-					pb := p
-					res.PureBatch = &pb
-				}
-				record(p)
-			}
-			continue
+	for i := range s.slots {
+		sl := &s.slots[i]
+		var p Plan
+		switch {
+		case sl.pseudo != nil:
+			p = *sl.pseudo
+		case sl.S == 1:
+			p = s.reduceFlat(sl)
+		default:
+			p = s.reduceStaged(sl)
 		}
-		if P%S != 0 {
-			st.Candidates++
-			st.StageCandidates++
-			st.InfeasiblePruned++
-			record(Plan{Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: S,
-				Reason: fmt.Sprintf("S=%d stages do not divide P=%d", S, P)})
-			continue
+		if sl.pure {
+			pb := p
+			res.PureBatch = &pb
 		}
-		parts, err := opts.partitions(net, S)
-		if err != nil {
-			st.Candidates++
-			st.StageCandidates++
-			st.InfeasiblePruned++
-			record(Plan{Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: S, Reason: err.Error()})
-			continue
-		}
-		st.PartitionsEnumerated += len(parts)
-		for _, g := range grid.Factorizations(P / S) {
-			st.GridsEnumerated++
-			record(evaluateStagedGrid(net, B, S, g, parts, opts, st))
-		}
+		record(p)
 	}
 	st.WallSeconds = time.Since(wallStart).Seconds()
-	// Enumeration is everything the measured phases are not: candidate
-	// generation, feasibility checks, loop bookkeeping.
-	st.EnumerateSeconds = math.Max(0, st.WallSeconds-st.PriceSeconds-st.SimulateSeconds)
 	if math.IsInf(best, 1) {
 		return res, fmt.Errorf("planner: no feasible configuration for B=%d P=%d mode=%v", B, P, opts.Mode)
 	}

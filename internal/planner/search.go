@@ -1,0 +1,546 @@
+// Deterministic parallel search: Optimize's candidate loop as a
+// worker-pool engine with branch-and-bound pruning.
+//
+// The serial planner folded the (stage count, grid, placement, partition,
+// micro-batch) product in nested loops. This file flattens the product
+// into an indexed work list during a serial enumeration phase, evaluates
+// the leaves across Options.Workers goroutines (every leaf is a pure
+// function of its inputs), and reduces the per-leaf plans back into the
+// per-(stage count, grid) slots of Result.All with exactly the serial
+// fold's comparison rules. Because the reduction runs serially over a
+// deterministically indexed plan array, the returned Result is
+// bit-identical for any worker count, including 1.
+//
+// Branch-and-bound: before pricing a leaf's communication or running the
+// timeline simulator, a monotone lower bound on its iteration time —
+// per-micro compute (placement- and schedule-invariant) plus, in the
+// non-overlapped closed form on a uniform topology, the cheapest ∆W
+// all-reduce the candidate must still pay — is checked against the best
+// cost seen so far.
+// A naive shared best would make the pruned set depend on goroutine
+// scheduling, so the work list is processed in fixed-size chunks with
+// the incumbent frozen at chunk boundaries: every leaf of chunk c sees
+// exactly the best feasible cost of chunks [0, c), regardless of worker
+// count. Pruned leaves are counted SearchStats.Bounded and carry a
+// placeholder infeasible plan; the winning plan and the pure-batch
+// baseline (exempt from pruning) are provably identical with bounds on
+// or off — a pruned leaf's true cost is at least its bound, which
+// exceeds an incumbent that itself is at least the final best, so no
+// pruned leaf can win the global fold. Losing Result.All entries and
+// intermediate entries of the improvement trajectory may collapse into
+// placeholders (the trajectory stays a subsequence of the exhaustive
+// one, ending on the same winner); Options.DisableBounds switches the
+// pruning off entirely for callers who want every candidate priced.
+//
+// Memoization: compute.Model.GridLayerTimes and the per-layer compute
+// costs the partition enumeration balances are evaluated once per
+// (grid, batch) during enumeration and shared read-only by every
+// placement × partition × micro-batch leaf (and by the lower bounds).
+package planner
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dnnparallel/internal/compute"
+	"dnnparallel/internal/costmodel"
+	"dnnparallel/internal/grid"
+	"dnnparallel/internal/nn"
+	"dnnparallel/internal/stage"
+)
+
+// boundChunk is the branch-and-bound chunk size: the pruning incumbent
+// is frozen while one chunk of leaves evaluates in parallel and advances
+// only at chunk boundaries. It is a constant — never derived from the
+// worker count — because the chunk schedule defines which candidates are
+// pruned, and that set must not change with parallelism. Searches with
+// at most one chunk of leaves (e.g. the paper's flat 10-grid sweep)
+// never prune.
+const boundChunk = 16
+
+// boundSlack relaxes the lower bound by a hair before comparing it to
+// the incumbent. The bound and the full evaluation compute the same
+// quantities with different floating-point association (per-layer prefix
+// sums vs. the aggregate closed forms), so a mathematically tight bound
+// could exceed the true cost by a few ulps and prune a winner on a
+// near-tie. 1e-9 relative is orders of magnitude above that noise and
+// costs no meaningful pruning power.
+const boundSlack = 1 - 1e-9
+
+// timesKey identifies one memoized per-layer compute split.
+type timesKey struct{ pr, pc, b int }
+
+// gridTimes is one memoized compute.Model.GridLayerTimes result plus the
+// derived aggregates the lower bounds read: prefix sums of the per-layer
+// fwd+bwd seconds (prefix[k] covers weighted layers [0, k)), the
+// direction-split prefixes the staged pipeline chain bound needs, their
+// total, and the residual overhead.
+type gridTimes struct {
+	times    []compute.LayerTime
+	overhead float64
+	total    float64
+	prefix   []float64
+	fwdPre   []float64
+	bwdPre   []float64
+}
+
+// computeCache memoizes GridLayerTimes across the candidates that share
+// (grid, batch) — previously recomputed per placement × micro-batch
+// variant. The map is written only during the serial enumeration phase
+// and read concurrently by the worker pool.
+type computeCache struct {
+	cm  compute.Model
+	net *nn.Network
+	m   map[timesKey]*gridTimes
+}
+
+func newComputeCache(cm compute.Model, net *nn.Network) *computeCache {
+	return &computeCache{cm: cm, net: net, m: make(map[timesKey]*gridTimes)}
+}
+
+func (c *computeCache) build(g grid.Grid, b int) *gridTimes {
+	times, ov := c.cm.GridLayerTimes(c.net, b, g)
+	gt := &gridTimes{times: times, overhead: ov,
+		prefix: make([]float64, len(times)+1),
+		fwdPre: make([]float64, len(times)+1),
+		bwdPre: make([]float64, len(times)+1)}
+	for i, t := range times {
+		gt.prefix[i+1] = gt.prefix[i] + t.Fwd + t.Bwd
+		gt.fwdPre[i+1] = gt.fwdPre[i] + t.Fwd
+		gt.bwdPre[i+1] = gt.bwdPre[i] + t.Bwd
+	}
+	gt.total = gt.prefix[len(times)]
+	return gt
+}
+
+// fill populates the entry for (g, b); enumeration-phase only.
+func (c *computeCache) fill(g grid.Grid, b int) {
+	k := timesKey{g.Pr, g.Pc, b}
+	if _, ok := c.m[k]; !ok {
+		c.m[k] = c.build(g, b)
+	}
+}
+
+// peek returns the entry for (g, b), computing a fresh one — without
+// storing it, so concurrent readers never see a write — on a miss.
+// Cached and fresh entries are bit-identical (GridLayerTimes is pure),
+// so a miss can never change a result, only waste the memoization.
+func (c *computeCache) peek(g grid.Grid, b int) *gridTimes {
+	if gt, ok := c.m[timesKey{g.Pr, g.Pc, b}]; ok {
+		return gt
+	}
+	return c.build(g, b)
+}
+
+// floorKey identifies one memoized ∆W communication floor.
+type floorKey struct {
+	pr, pc int
+	pl     grid.Placement
+}
+
+// leaf is one fully specified candidate: a (stage count, grid,
+// placement, partition, micro-batch) tuple awaiting evaluation.
+type leaf struct {
+	S     int
+	g     grid.Grid
+	pl    grid.Placement
+	part  stage.Partition // S > 1 only
+	micro int
+	// pure marks the 1×P pure-batch baseline, which is exempt from
+	// bounding: Result.PureBatch is the reference the paper's speedups
+	// are quoted against, so it must always be fully priced.
+	pure bool
+}
+
+// slot is one entry of Result.All: a (stage count, grid) pair whose
+// leaves [start, start+n) reduce to a single reported plan. Pseudo slots
+// (S values that do not divide P, partition errors) carry their
+// pre-built infeasible plan and own no leaves.
+type slot struct {
+	S          int
+	g          grid.Grid
+	pure       bool
+	pseudo     *Plan
+	start, n   int
+	placements int // S == 1: leaves are placement-major …
+	micros     int // … with this many micro-batch leaves per placement
+}
+
+// search is one Optimize invocation's engine state.
+type search struct {
+	net    *nn.Network
+	B, P   int
+	opts   Options
+	bounds bool
+	cc     *computeCache
+	floors map[floorKey]float64
+	slots  []slot
+	leaves []leaf
+	plans  []Plan
+	// lbs/lbOK hold the per-leaf lower bounds computed once by run()'s
+	// ordering pass; evalLeaf reads them instead of re-deriving the bound
+	// per leaf. Nil when bounds are disabled.
+	lbs  []float64
+	lbOK []bool
+}
+
+func newSearch(net *nn.Network, B, P int, opts Options) *search {
+	return &search{
+		net:    net,
+		B:      B,
+		P:      P,
+		opts:   opts,
+		bounds: !opts.DisableBounds,
+		cc:     newComputeCache(opts.Compute, net),
+		floors: make(map[floorKey]float64),
+	}
+}
+
+// enumerate builds the slot and leaf lists in the serial search order —
+// stage counts, then grid factorizations, then placements × partitions ×
+// micro-batches — pre-filling the compute memo and the ∆W floors, and
+// counting the enumeration-side telemetry (grids, stage counts,
+// partitions, and the pseudo-slot candidates) into st.
+func (s *search) enumerate(st *SearchStats) {
+	o := s.opts
+	counts := o.stageCounts()
+	micros := o.microBatches()
+	pls := o.placements()
+	// The ∆W floor sharpens the bound only where the closed form
+	// serializes communication after compute (no overlap, no timeline),
+	// and only on a uniform topology, where FCGradReduceSeconds is a
+	// closed form. On a hierarchical topology the floor costs a level-span
+	// scan per (grid, placement) — measured at roughly a third of pricing
+	// the candidate outright, for exactly one M=1 leaf each — so the
+	// compute-only bound stands alone there.
+	needFloors := s.bounds && !o.UseTimeline && !o.Overlap && o.topology().Uniform()
+	var layerCosts []float64
+	for _, S := range counts {
+		st.StageCountsSearched++
+		if S == 1 {
+			for _, g := range grid.Factorizations(s.P) {
+				st.GridsEnumerated++
+				gp := pls
+				if g.Pr == 1 || g.Pc == 1 {
+					// Degenerate grids have identical rank mappings under
+					// every placement; extra placements would duplicate
+					// the first plan.
+					gp = gp[:1]
+				}
+				sl := slot{S: 1, g: g, pure: g.IsPureBatch(), start: len(s.leaves),
+					placements: len(gp), micros: len(micros)}
+				for _, pl := range gp {
+					if needFloors {
+						s.fillFloor(g, pl)
+					}
+					for _, m := range micros {
+						s.leaves = append(s.leaves, leaf{S: 1, g: g, pl: pl, micro: m, pure: sl.pure})
+					}
+				}
+				s.prefillTimes(g, micros)
+				sl.n = len(s.leaves) - sl.start
+				s.slots = append(s.slots, sl)
+			}
+			continue
+		}
+		if s.P%S != 0 {
+			st.Candidates++
+			st.StageCandidates++
+			st.InfeasiblePruned++
+			p := Plan{Mode: o.Mode, MicroBatch: 1, Schedule: o.Schedule, Stages: S,
+				Reason: fmt.Sprintf("S=%d stages do not divide P=%d", S, s.P)}
+			s.slots = append(s.slots, slot{S: S, pseudo: &p})
+			continue
+		}
+		if layerCosts == nil {
+			layerCosts = layerComputeCosts(s.net)
+		}
+		parts, err := o.partitionsFrom(layerCosts, S)
+		if err != nil {
+			st.Candidates++
+			st.StageCandidates++
+			st.InfeasiblePruned++
+			p := Plan{Mode: o.Mode, MicroBatch: 1, Schedule: o.Schedule, Stages: S, Reason: err.Error()}
+			s.slots = append(s.slots, slot{S: S, pseudo: &p})
+			continue
+		}
+		st.PartitionsEnumerated += len(parts)
+		for _, g := range grid.Factorizations(s.P / S) {
+			st.GridsEnumerated++
+			gp := pls
+			if g.Pr == 1 || g.Pc == 1 {
+				gp = gp[:1]
+			}
+			sl := slot{S: S, g: g, start: len(s.leaves)}
+			for _, pl := range gp {
+				for _, part := range parts {
+					for _, m := range micros {
+						s.leaves = append(s.leaves, leaf{S: S, g: g, pl: pl, part: part, micro: m})
+					}
+				}
+			}
+			s.prefillTimes(g, micros)
+			sl.n = len(s.leaves) - sl.start
+			s.slots = append(s.slots, sl)
+		}
+	}
+}
+
+// prefillTimes memoizes the compute splits every leaf of a grid will
+// read: the full batch for single-iteration scoring and each candidate
+// micro-batch size for the lower bounds and pipelined paths.
+func (s *search) prefillTimes(g grid.Grid, micros []int) {
+	s.cc.fill(g, s.B)
+	for _, m := range micros {
+		if m >= 1 && s.B%m == 0 {
+			s.cc.fill(g, s.B/m)
+		}
+	}
+}
+
+func (s *search) fillFloor(g grid.Grid, pl grid.Placement) {
+	k := floorKey{g.Pr, g.Pc, pl}
+	if _, ok := s.floors[k]; ok {
+		return
+	}
+	env := costmodel.Env{Topo: s.opts.topology(), Placement: pl}
+	s.floors[k] = env.FCGradReduceSeconds(s.net, g)
+}
+
+// lowerBound returns a monotone lower bound on the leaf's iteration
+// time, or ok=false when the leaf fails a structural constraint (it then
+// flows through the full evaluation to be classified InfeasiblePruned
+// with its exact reason, exactly as without bounds).
+//
+// The bound is compute-only plus terms the schedule provably cannot
+// hide: every simulated or closed-form iteration is at least its busiest
+// compute lane — M micro-batches' fwd+bwd per-layer times on a single
+// stage, or M × the heaviest stage's slice under a partition — plus the
+// per-iteration fixed overhead and the M-scaled unweighted-layer
+// compute; the non-overlapped closed form additionally serializes all
+// communication, of which the FC layers' Model-strategy ∆W all-reduce
+// is an assignment-independent floor.
+func (s *search) lowerBound(lf *leaf) (float64, bool) {
+	o := s.opts
+	g := lf.g
+	if ok, _ := feasible(s.net, s.B, g, o.Mode); !ok {
+		return 0, false
+	}
+	if o.MaxPc > 0 && g.Pc > o.MaxPc {
+		return 0, false
+	}
+	if lf.micro < 1 || s.B%lf.micro != 0 {
+		return 0, false
+	}
+	mb := s.B / lf.micro
+	if mb < g.Pc {
+		return 0, false
+	}
+	gt := s.cc.peek(g, mb)
+	fixed := o.Compute.FixedIter
+	M := float64(lf.micro)
+	if lf.S == 1 {
+		if lf.micro == 1 {
+			lb := gt.total + gt.overhead
+			if !o.UseTimeline && !o.Overlap {
+				lb += s.floors[floorKey{g.Pr, g.Pc, lf.pl}]
+			}
+			return lb, true
+		}
+		// One stage runs all M micro-batches on one compute lane; the
+		// pipeline overhead contributes FixedIter once plus the
+		// unweighted compute per micro-batch (the flush update is ≥ 0).
+		return M*(gt.total+gt.overhead-fixed) + fixed, true
+	}
+	// Stage-partitioned: for every stage k there is a dependency chain no
+	// schedule can compress — micro-batch 1's forward must traverse the
+	// stages before k before k's lane can start, k's lane then serially
+	// executes all M micro-batches of its own slice, and its last
+	// operation is some micro-batch's backward, which still has to
+	// propagate back through the stages before k. The bound is the
+	// longest such chain over k.
+	// A single micro-batch also traverses every stage forward and
+	// backward serially, so the whole-network per-micro compute is a
+	// second schedule-independent chain.
+	chain := gt.total
+	for k := 0; k < lf.S; k++ {
+		lo, hi := lf.part.Bounds(k)
+		c := gt.fwdPre[lo] + M*(gt.prefix[hi]-gt.prefix[lo]) + gt.bwdPre[lo]
+		if c > chain {
+			chain = c
+		}
+	}
+	return chain + fixed + M*(gt.overhead-fixed), true
+}
+
+// evalLeaf evaluates leaf i against the frozen incumbent, recording its
+// telemetry in the worker's shard. The leaf's lower bound was computed
+// once by run()'s ordering pass (s.lbs/s.lbOK); re-deriving it here
+// would double the bound cost for zero information.
+func (s *search) evalLeaf(i int, incumbent float64, st *SearchStats) Plan {
+	lf := &s.leaves[i]
+	if s.bounds && !lf.pure {
+		if lb := s.lbs[i]; s.lbOK[i] && lb*boundSlack > incumbent {
+			st.Candidates++
+			if lf.S > 1 {
+				st.StageCandidates++
+			}
+			st.Bounded++
+			p := Plan{Grid: lf.g, Placement: lf.pl, Mode: s.opts.Mode, MicroBatch: lf.micro,
+				Schedule: s.opts.Schedule, Stages: lf.S,
+				Reason: fmt.Sprintf("pruned: compute lower bound %.4gs exceeds incumbent best %.4gs",
+					lb, incumbent)}
+			if lf.S > 1 {
+				p.Partition = lf.part.Cuts()
+			}
+			return p
+		}
+	}
+	if lf.S == 1 {
+		return evaluateMicroAt(s.net, s.B, lf.g, lf.pl, s.opts, lf.micro, s.cc, st)
+	}
+	return evaluateStagedAt(s.net, s.B, lf.g, lf.pl, lf.part, s.opts, lf.micro, st)
+}
+
+// run evaluates every leaf across the worker pool, chunk by chunk, and
+// merges the per-worker telemetry shards into st.
+//
+// With bounds enabled the leaves are visited in ascending lower-bound
+// order (stable on the enumeration index): the cheapest-looking
+// candidates evaluate first, so the incumbent falls fast and the
+// expensive tail is pruned before pricing. The visit order is a pure
+// function of the enumerated leaves — never of worker count or timing —
+// and every result still lands at its leaf's own index, so the reduced
+// Result is unchanged by the reordering and identical for any worker
+// count.
+func (s *search) run(st *SearchStats) {
+	n := len(s.leaves)
+	if n == 0 {
+		return
+	}
+	s.plans = make([]Plan, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if s.bounds {
+		s.lbs = make([]float64, n)
+		s.lbOK = make([]bool, n)
+		for i := range s.leaves {
+			// Structurally infeasible leaves keep lb = 0: they sort to
+			// the front, where their (cheap, never-priced) classification
+			// cannot delay the incumbent.
+			if lb, ok := s.lowerBound(&s.leaves[i]); ok {
+				s.lbs[i], s.lbOK[i] = lb, true
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool { return s.lbs[order[a]] < s.lbs[order[b]] })
+	}
+	workers := s.opts.Workers
+	if workers <= 0 {
+		// Default to the scheduler's parallelism, but never oversubscribe
+		// the physical cores: the leaves are CPU-bound, so workers beyond
+		// NumCPU only add contention (the result is identical for any
+		// worker count, so the cap is purely a scheduling choice).
+		workers = runtime.GOMAXPROCS(0)
+		if ncpu := runtime.NumCPU(); workers > ncpu {
+			workers = ncpu
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	shards := make([]SearchStats, workers)
+	incumbent := math.Inf(1)
+	for lo := 0; lo < n; lo += boundChunk {
+		hi := lo + boundChunk
+		if hi > n {
+			hi = n
+		}
+		if workers == 1 {
+			for p := lo; p < hi; p++ {
+				i := order[p]
+				s.plans[i] = s.evalLeaf(i, incumbent, &shards[0])
+			}
+		} else {
+			// Workers pull visit positions from a shared counter: dynamic
+			// balancing within the chunk, while every leaf's result lands
+			// at its own index — scheduling decides only who computes
+			// what, never what is computed.
+			next := int64(lo)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(sh *SearchStats) {
+					defer wg.Done()
+					for {
+						p := int(atomic.AddInt64(&next, 1)) - 1
+						if p >= hi {
+							return
+						}
+						i := order[p]
+						s.plans[i] = s.evalLeaf(i, incumbent, sh)
+					}
+				}(&shards[w])
+			}
+			wg.Wait()
+		}
+		// Advance the frozen incumbent: chunk boundaries are the only
+		// points where pruning decisions may observe new information.
+		for p := lo; p < hi; p++ {
+			if pl := &s.plans[order[p]]; pl.Feasible && pl.IterSeconds < incumbent {
+				incumbent = pl.IterSeconds
+			}
+		}
+	}
+	for i := range shards {
+		st.merge(shards[i])
+	}
+}
+
+// reduceFlat folds a single-stage slot's leaves exactly as the serial
+// evaluate/evaluateAt pair: within a placement, strictly cheaper wins
+// and equal cost prefers the smaller micro-batch; across placements,
+// only strictly cheaper feasible plans replace (ties keep the earlier
+// placement, so flat machines deterministically report row-major).
+func (s *search) reduceFlat(sl *slot) Plan {
+	group := func(start int) Plan {
+		best := s.plans[start]
+		for i := start + 1; i < start+sl.micros; i++ {
+			p := s.plans[i]
+			if p.Feasible && (!best.Feasible || p.IterSeconds < best.IterSeconds ||
+				(p.IterSeconds == best.IterSeconds && p.MicroBatch < best.MicroBatch)) {
+				best = p
+			}
+		}
+		return best
+	}
+	best := group(sl.start)
+	for pi := 1; pi < sl.placements; pi++ {
+		if p := group(sl.start + pi*sl.micros); p.Feasible &&
+			(!best.Feasible || p.IterSeconds < best.IterSeconds) {
+			best = p
+		}
+	}
+	return best
+}
+
+// reduceStaged folds a multi-stage slot's leaves exactly as the serial
+// evaluateStagedGrid: one flat fold over placements × partitions ×
+// micro-batches where strictly cheaper wins and equal cost prefers the
+// smaller micro-batch (ties otherwise keep the earlier candidate).
+func (s *search) reduceStaged(sl *slot) Plan {
+	best := s.plans[sl.start]
+	for i := sl.start + 1; i < sl.start+sl.n; i++ {
+		p := s.plans[i]
+		if p.Feasible && (!best.Feasible || p.IterSeconds < best.IterSeconds ||
+			(p.IterSeconds == best.IterSeconds && p.MicroBatch < best.MicroBatch)) {
+			best = p
+		}
+	}
+	return best
+}

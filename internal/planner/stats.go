@@ -21,23 +21,30 @@ type Improvement struct {
 }
 
 // SearchStats is the planner's search telemetry, populated by Optimize:
-// how many candidate configurations the brute-force product scan over
-// grids × placements × micro-batches visited, where they were pruned,
-// and where the wall time went. The counts reconcile exactly:
+// how many candidate configurations the search over grids × placements ×
+// partitions × micro-batches visited, where they were pruned, and where
+// the wall time went. The counts reconcile exactly:
 //
-//	Candidates = Priced + InfeasiblePruned + MemoryPruned
+//	Candidates = Priced + InfeasiblePruned + MemoryPruned + Bounded
 //
 // (every candidate either fails a structural constraint, fails the
-// memory limit, or gets a full Eq. 3–9 pricing), and the phase split
-// decomposes the wall clock:
+// memory limit, is cut off by a branch-and-bound lower bound, or gets a
+// full Eq. 3–9 pricing), and the phase split bounds the wall clock:
 //
-//	WallSeconds = EnumerateSeconds + PriceSeconds + SimulateSeconds
+//	EnumerateSeconds + PriceSeconds + SimulateSeconds ≤ WallSeconds
 //
-// where EnumerateSeconds is the residual — candidate generation,
-// feasibility checks, and loop bookkeeping — after the measured pricing
-// and timeline-simulation sections are subtracted. For pipelined
-// candidates (M > 1) the Eq. 3–9 re-pricing at micro-batch size B/M
-// happens inside the simulator call and is accounted to SimulateSeconds.
+// EnumerateSeconds is measured directly around the candidate-generation
+// phase (work lists, memoized compute splits, partition enumeration);
+// PriceSeconds and SimulateSeconds are summed across the evaluation
+// workers and, when that cpu-time sum exceeds the evaluation phase's
+// wall clock (Options.Workers > 1), scaled down onto it so the split
+// stays a wall-clock attribution. The slack is the reduction and loop
+// bookkeeping. For pipelined candidates (M > 1) the Eq. 3–9 re-pricing
+// at micro-batch size B/M happens inside the simulator call and is
+// accounted to SimulateSeconds.
+//
+// All counts and the improvement trajectory are deterministic — they do
+// not depend on the worker count.
 type SearchStats struct {
 	// GridsEnumerated is the number of Pr × Pc factorizations examined
 	// across every stage count (of P for single-stage search, of the
@@ -65,6 +72,17 @@ type SearchStats struct {
 	// MemoryPruned counts candidates rejected by the per-process memory
 	// limit after their footprint was derived.
 	MemoryPruned int `json:"memory_pruned"`
+	// Bounded counts candidates skipped by branch-and-bound: their
+	// monotone compute-only lower bound (plus the unavoidable ∆W
+	// all-reduce floor in the non-overlapped closed form) already
+	// exceeded the best iteration time found in earlier search chunks,
+	// so they were never priced or simulated. Always 0 with
+	// Options.DisableBounds, and pruning never changes Result.Best or
+	// PureBatch — only which losing candidates carry full pricing detail
+	// in Result.All, and with them any merely-intermediate entries of
+	// the improvement trajectory (it stays a subsequence of the
+	// exhaustive one ending on the same winner).
+	Bounded int `json:"bounded,omitempty"`
 	// Priced counts candidates that received a full Eq. 3–9 pricing.
 	Priced int `json:"priced"`
 	// TimelineSimulated counts the discrete-event simulator runs
@@ -88,7 +106,24 @@ type SearchStats struct {
 // Reconciles reports whether the candidate counts add up (see the
 // struct comment); a false return is a planner accounting bug.
 func (s SearchStats) Reconciles() bool {
-	return s.Candidates == s.Priced+s.InfeasiblePruned+s.MemoryPruned
+	return s.Candidates == s.Priced+s.InfeasiblePruned+s.MemoryPruned+s.Bounded
+}
+
+// merge folds one evaluation worker's telemetry shard into s. Only the
+// additive per-candidate counters and cpu-time accumulators are merged;
+// enumeration-side counts (grids, stage counts, partitions), the
+// improvement trajectory, and the wall split stay owned by the serial
+// phases of Optimize.
+func (s *SearchStats) merge(o SearchStats) {
+	s.Candidates += o.Candidates
+	s.StageCandidates += o.StageCandidates
+	s.InfeasiblePruned += o.InfeasiblePruned
+	s.MemoryPruned += o.MemoryPruned
+	s.Bounded += o.Bounded
+	s.Priced += o.Priced
+	s.TimelineSimulated += o.TimelineSimulated
+	s.PriceSeconds += o.PriceSeconds
+	s.SimulateSeconds += o.SimulateSeconds
 }
 
 // ZeroTimes returns a copy with the wall-clock fields cleared, leaving
@@ -105,6 +140,9 @@ func (s SearchStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "search: %d grids, %d candidates (%d priced, %d infeasible, %d memory-pruned, %d simulated)\n",
 		s.GridsEnumerated, s.Candidates, s.Priced, s.InfeasiblePruned, s.MemoryPruned, s.TimelineSimulated)
+	if s.Bounded > 0 {
+		fmt.Fprintf(&b, "bounds: %d candidates cut by compute lower bound before pricing\n", s.Bounded)
+	}
 	if s.StageCountsSearched > 1 || s.PartitionsEnumerated > 0 {
 		fmt.Fprintf(&b, "stages: %d stage counts, %d partitions, %d stage candidates\n",
 			s.StageCountsSearched, s.PartitionsEnumerated, s.StageCandidates)

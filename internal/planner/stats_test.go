@@ -20,8 +20,8 @@ func TestSearchStatsReconcileAlexNetP512(t *testing.T) {
 	}
 	st := res.Stats
 	if !st.Reconciles() {
-		t.Fatalf("counts do not reconcile: %d candidates ≠ %d priced + %d infeasible + %d memory-pruned",
-			st.Candidates, st.Priced, st.InfeasiblePruned, st.MemoryPruned)
+		t.Fatalf("counts do not reconcile: %d candidates ≠ %d priced + %d infeasible + %d memory-pruned + %d bounded",
+			st.Candidates, st.Priced, st.InfeasiblePruned, st.MemoryPruned, st.Bounded)
 	}
 	// 512 = 2^9 has 10 divisor grids; uniform mode with a flat machine
 	// prices each exactly once.
@@ -44,6 +44,13 @@ func TestSearchStatsReconcileAlexNetP512(t *testing.T) {
 	}
 	if st.WallSeconds <= 0 {
 		t.Errorf("WallSeconds = %g, want > 0", st.WallSeconds)
+	}
+	// Enumeration is a measured phase now (work-list construction plus
+	// the memoized compute pre-fill), not a residual: it must be a real
+	// duration, and the split must fit under the wall clock even after
+	// the multi-worker cpu-time scaling.
+	if st.EnumerateSeconds <= 0 {
+		t.Errorf("EnumerateSeconds = %g, want > 0 (measured directly)", st.EnumerateSeconds)
 	}
 	if sum := st.EnumerateSeconds + st.PriceSeconds + st.SimulateSeconds; sum > st.WallSeconds*1.0001 {
 		t.Errorf("phase split %g exceeds wall %g", sum, st.WallSeconds)

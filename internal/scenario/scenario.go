@@ -264,6 +264,22 @@ type PipelineSpec struct {
 	MaxPartitions int `json:"max_partitions,omitempty"`
 }
 
+// SearchSpec configures the search engine itself — how the candidate
+// product is evaluated, not which candidates it contains. The engine is
+// deterministic, so these knobs never change the returned plan: workers
+// trades wall time for goroutines, and bounds toggles the
+// branch-and-bound pruning that skips full pricing of provably losing
+// candidates (see planner.Options.DisableBounds).
+type SearchSpec struct {
+	// Workers is the number of candidate-evaluation goroutines
+	// (0 ⇒ runtime.GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Bounds toggles branch-and-bound pruning. Absent means on — the
+	// default; Normalize drops an explicit true, so only the
+	// non-default "bounds": false survives in canonical form.
+	Bounds *bool `json:"bounds,omitempty"`
+}
+
 // Scenario is the declarative spec. The zero value is not useful; start
 // from Default (or the root package's New builder) or a JSON file, then
 // Normalize + Validate — Plan and Simulate do both eagerly.
@@ -324,6 +340,10 @@ type Scenario struct {
 	// Grid pins one PrxPc factorization (e.g. "8x64"). Plan then prices
 	// only that grid; Simulate requires it.
 	Grid string `json:"grid,omitempty"`
+
+	// Search tunes the search engine (worker count, branch-and-bound).
+	// Never changes the returned plan, only how fast it is found.
+	Search *SearchSpec `json:"search,omitempty"`
 }
 
 // Default returns the paper's headline configuration: AlexNet, B = 2048,
@@ -443,6 +463,17 @@ func (s Scenario) Normalize() Scenario {
 	}
 	if g, err := grid.Parse(out.Grid); err == nil {
 		out.Grid = g.String()
+	}
+	if out.Search != nil {
+		se := *out.Search
+		if se.Bounds != nil && *se.Bounds {
+			se.Bounds = nil // on is the default
+		}
+		if se.Workers == 0 && se.Bounds == nil {
+			out.Search = nil // the empty block is the default
+		} else {
+			out.Search = &se
+		}
 	}
 	return out
 }
@@ -606,6 +637,9 @@ func (s Scenario) Validate() error {
 	if s.MaxBatchParallel < 0 {
 		return invalid("max_batch_parallel", "need a cap ≥ 0, got %d", s.MaxBatchParallel)
 	}
+	if s.Search != nil && s.Search.Workers < 0 {
+		return invalid("search.workers", "need a worker count ≥ 0, got %d", s.Search.Workers)
+	}
 	if s.Grid != "" {
 		g, err := grid.Parse(s.Grid)
 		if err != nil {
@@ -677,6 +711,10 @@ func (s Scenario) Resolve() (Resolved, error) {
 		Schedule:          n.Schedule,
 		PipelineStages:    n.PipelineStages,
 		Placements:        n.Placements,
+	}
+	if n.Search != nil {
+		opts.Workers = n.Search.Workers
+		opts.DisableBounds = n.Search.Bounds != nil && !*n.Search.Bounds
 	}
 	if n.Pipeline != nil {
 		opts.PipelineStages = n.Pipeline.Stages

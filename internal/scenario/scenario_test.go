@@ -437,3 +437,67 @@ func TestResolve(t *testing.T) {
 		t.Fatalf("pinned grid not resolved: %v", r4.Grid)
 	}
 }
+
+// TestSearchSpec covers the search block: normalization drops the
+// defaults, validation rejects negative workers, and Resolve lowers the
+// knobs onto planner.Options. The block tunes only how the search runs,
+// never which plan it returns.
+func TestSearchSpec(t *testing.T) {
+	on := true
+	off := false
+
+	// Explicit defaults normalize away entirely.
+	s := Default()
+	s.Search = &SearchSpec{Bounds: &on}
+	if n := s.Normalize(); n.Search != nil {
+		t.Fatalf("default search block should normalize away, got %+v", n.Search)
+	}
+
+	// Non-defaults survive, with the redundant true dropped.
+	s.Search = &SearchSpec{Workers: 4, Bounds: &on}
+	n := s.Normalize()
+	if n.Search == nil || n.Search.Workers != 4 || n.Search.Bounds != nil {
+		t.Fatalf("normalize mangled the search block: %+v", n.Search)
+	}
+	if n2 := n.Normalize(); !reflect.DeepEqual(n, n2) {
+		t.Fatal("normalize is not idempotent on the search block")
+	}
+
+	s.Search = &SearchSpec{Workers: -1}
+	var verr *ValidationError
+	if err := s.Normalize().Validate(); !errors.As(err, &verr) || verr.Field != "search.workers" {
+		t.Fatalf("negative workers should fail validation, got %v", err)
+	}
+
+	s.Search = &SearchSpec{Workers: 2, Bounds: &off}
+	r, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Options.Workers != 2 || !r.Options.DisableBounds {
+		t.Fatalf("search block not lowered: workers=%d disableBounds=%v",
+			r.Options.Workers, r.Options.DisableBounds)
+	}
+
+	// Absent block ⇒ engine defaults: GOMAXPROCS workers, bounds on.
+	r0, err := Default().Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Options.Workers != 0 || r0.Options.DisableBounds {
+		t.Fatalf("default should leave Workers=0 and bounds on: %+v", r0.Options)
+	}
+
+	// The block round-trips through JSON.
+	data, err := json.Marshal(s.Normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Search == nil || back.Search.Workers != 2 || back.Search.Bounds == nil || *back.Search.Bounds {
+		t.Fatalf("search block lost in round-trip: %+v", back.Search)
+	}
+}

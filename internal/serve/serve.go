@@ -13,14 +13,18 @@
 // recovers nothing because nothing can panic past its validation), an
 // infeasible one to 422. Plan responses are cached in an LRU keyed on
 // the canonicalized scenario, so two clients asking the same question
-// differently spelled share one planner run; the handler is safe for
-// concurrent use (exercised under -race in serve_test.go).
+// differently spelled share one planner run; identical misses that are
+// concurrently in flight are coalesced onto a single planner call
+// (singleflight — the followers wait for the leader's bytes and answer
+// with X-Cache: coalesced). The handler is safe for concurrent use
+// (exercised under -race in serve_test.go).
 //
 // Every request flows through an observability middleware: an in-flight
 // gauge, per-endpoint request counters by status, per-endpoint latency
 // histograms (p50/p99 derivable from the cumulative buckets), and a
 // structured slog line carrying the request ID, the canonical-scenario
-// hash, the duration, and the cache outcome (hit|miss|bypass) — the
+// hash, the duration, and the cache outcome (hit|miss|coalesced|
+// bypass) — the
 // instrumentation substrate the ROADMAP's scale-out work will report
 // against.
 package serve
@@ -58,6 +62,12 @@ type Config struct {
 	// endpoint, status, duration, canonical-scenario hash, cache
 	// outcome). nil disables request logging.
 	Logger *slog.Logger
+	// Workers is the planner worker count applied to requests whose
+	// scenario leaves search.workers unset (0 keeps the planner default,
+	// GOMAXPROCS). It never changes any response body — the search result
+	// is identical for every worker count — so it is deliberately NOT
+	// part of the cache key.
+	Workers int
 }
 
 // Server is the planning service. Create with New; it is safe for
@@ -66,6 +76,14 @@ type Server struct {
 	cache   *lru
 	handler http.Handler
 	log     *slog.Logger
+	workers int
+
+	// flights dedupes identical in-flight cache misses: the first
+	// request for a key becomes the leader and runs the planner; later
+	// requests for the same key wait on the flight's done channel and
+	// serve the leader's bytes (X-Cache: coalesced).
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	metrics  *obs.Registry
 	requests *obs.CounterVec   // dnnserve_requests_total{path,status}
@@ -79,7 +97,25 @@ type Server struct {
 	cacheEvictions *obs.Counter
 	cacheEntries   *obs.Gauge
 	cacheCapacity  *obs.Gauge
+	cacheCoalesced *obs.Counter
+	searchSeconds  *obs.Histogram // dnnserve_plan_search_seconds
 }
+
+// flight is one in-flight computation a set of identical requests
+// shares. The leader fills data/err, then closes done; followers read
+// both only after done is closed (the close is the happens-before
+// edge), so the fields need no lock.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// testPlanDelay, when non-nil, runs inside the miss path after the
+// flight is registered and before the façade call — a test hook that
+// lets the singleflight race test hold a leader in flight while
+// followers pile up. Never set outside tests.
+var testPlanDelay func()
 
 // New builds a Server.
 func New(cfg Config) *Server {
@@ -87,7 +123,7 @@ func New(cfg Config) *Server {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
-	s := &Server{log: cfg.Logger}
+	s := &Server{log: cfg.Logger, workers: cfg.Workers, flights: make(map[string]*flight)}
 
 	reg := obs.NewRegistry()
 	s.metrics = reg
@@ -111,6 +147,14 @@ func New(cfg Config) *Server {
 		"Plan-cache entries currently resident.")
 	s.cacheCapacity = reg.NewGauge("dnnserve_cache_capacity",
 		"Plan-cache capacity in entries (0 = caching disabled).")
+	s.cacheCoalesced = reg.NewCounter("dnnserve_cache_coalesced_total",
+		"Cache misses coalesced onto an identical in-flight computation "+
+			"(singleflight): requests answered from another request's "+
+			"planner run without running the planner themselves.")
+	s.searchSeconds = reg.NewHistogram("dnnserve_plan_search_seconds",
+		"Planner search wall time per uncached /v1/plan request "+
+			"(SearchStats.WallSeconds; cache hits and coalesced requests "+
+			"run no search and are not observed).", nil)
 
 	if size > 0 {
 		s.cache = newLRU(size, s.cacheHits, s.cacheMisses, s.cacheEvictions, s.cacheEntries)
@@ -119,7 +163,14 @@ func New(cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plan", s.handle(func(r *http.Request, sc dnnparallel.Scenario) (any, error) {
-		return dnnparallel.Plan(sc)
+		res, err := dnnparallel.Plan(sc)
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats != nil {
+			s.searchSeconds.Observe(res.Stats.WallSeconds)
+		}
+		return res, nil
 	}))
 	mux.HandleFunc("/v1/simulate", s.handle(func(r *http.Request, sc dnnparallel.Scenario) (any, error) {
 		res, err := dnnparallel.Simulate(sc)
@@ -264,6 +315,10 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Capacity  int   `json:"capacity"`
+	// Coalesced counts misses answered from an identical in-flight
+	// computation (singleflight) instead of running the planner. They
+	// are not counted in Misses — a coalesced request never computed.
+	Coalesced int64 `json:"coalesced"`
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -271,7 +326,9 @@ func (s *Server) Stats() CacheStats {
 	if s.cache == nil {
 		return CacheStats{}
 	}
-	return s.cache.stats()
+	st := s.cache.stats()
+	st.Coalesced = s.cacheCoalesced.Value()
+	return st
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
@@ -314,12 +371,14 @@ func scenarioHash(canon []byte) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// handle wraps one façade call with decoding, canonicalization, and the
-// response cache. The cache stores marshaled response bytes: immutable,
-// so concurrent hits never share mutable state. Responses always carry
-// Content-Type: application/json and an explicit X-Cache header —
-// hit|miss, or bypass when caching is disabled — so clients and tests
-// can assert cache behavior without scraping counters.
+// handle wraps one façade call with decoding, canonicalization, the
+// response cache, and the singleflight group. The cache stores
+// marshaled response bytes: immutable, so concurrent hits never share
+// mutable state. Responses always carry Content-Type: application/json
+// and an explicit X-Cache header — hit, miss, coalesced (this request
+// waited for an identical in-flight miss instead of computing), or
+// bypass when caching is disabled — so clients and tests can assert
+// cache behavior without scraping counters.
 func (s *Server) handle(f func(*http.Request, dnnparallel.Scenario) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -360,34 +419,88 @@ func (s *Server) handle(f func(*http.Request, dnnparallel.Scenario) (any, error)
 			}
 			w.Header().Set("X-Cache", o)
 		}
-		if s.cache == nil {
-			outcome("bypass")
-		} else if cached, ok := s.cache.get(key); ok {
-			outcome("hit")
+		writeOK := func(data []byte) {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusOK)
-			_, _ = w.Write(cached)
+			_, _ = w.Write(data)
+		}
+		// The server's worker default applies AFTER the cache key is
+		// computed: workers never change the result, so requests that
+		// differ only in the server's deployment config must share cache
+		// entries and flights.
+		if s.workers > 0 && (sc.Search == nil || sc.Search.Workers == 0) {
+			se := dnnparallel.SearchSpec{}
+			if sc.Search != nil {
+				se = *sc.Search
+			}
+			se.Workers = s.workers
+			sc.Search = &se
+		}
+		compute := func() ([]byte, error) {
+			if testPlanDelay != nil {
+				testPlanDelay()
+			}
+			res, err := f(r, sc)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.Marshal(res)
+			if err != nil {
+				return nil, err
+			}
+			return append(data, '\n'), nil
+		}
+		if s.cache == nil {
+			outcome("bypass")
+			data, err := compute()
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeOK(data)
 			return
-		} else {
-			outcome("miss")
 		}
-		res, err := f(r, sc)
-		if err != nil {
-			writeError(w, err)
+		if cached, ok := s.cache.get(key); ok {
+			outcome("hit")
+			writeOK(cached)
 			return
 		}
-		data, err := json.Marshal(res)
-		if err != nil {
-			writeError(w, err)
+		// Miss. Join the in-flight computation for this key if one
+		// exists; otherwise register as its leader.
+		s.flightMu.Lock()
+		if fl, ok := s.flights[key]; ok {
+			s.flightMu.Unlock()
+			<-fl.done
+			s.cacheCoalesced.Inc()
+			outcome("coalesced")
+			if fl.err != nil {
+				writeError(w, fl.err)
+				return
+			}
+			writeOK(fl.data)
 			return
 		}
-		data = append(data, '\n')
-		if s.cache != nil {
-			s.cache.put(key, data)
+		fl := &flight{done: make(chan struct{})}
+		s.flights[key] = fl
+		s.flightMu.Unlock()
+		s.cache.miss()
+		outcome("miss")
+		fl.data, fl.err = compute()
+		if fl.err == nil {
+			s.cache.put(key, fl.data)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(data)
+		// Release followers only after the cache is filled, so requests
+		// arriving after this flight resolves hit the cache instead of
+		// starting a new one.
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(fl.done)
+		if fl.err != nil {
+			writeError(w, fl.err)
+			return
+		}
+		writeOK(fl.data)
 	}
 }
 
@@ -430,6 +543,10 @@ func newLRU(capacity int, hits, misses, evictions *obs.Counter, entries *obs.Gau
 	}
 }
 
+// get returns the cached bytes and counts a hit. It does NOT count a
+// miss on absence: misses are counted by the handler's flight leader
+// via miss(), so coalesced followers (who also saw an absent key)
+// inflate neither counter.
 func (c *lru) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -438,9 +555,11 @@ func (c *lru) get(key string) ([]byte, bool) {
 		c.hits.Inc()
 		return el.Value.(*lruEntry).data, true
 	}
-	c.misses.Inc()
 	return nil, false
 }
+
+// miss counts one cache miss that actually ran the planner.
+func (c *lru) miss() { c.misses.Inc() }
 
 func (c *lru) put(key string, data []byte) {
 	c.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -457,4 +458,90 @@ func TestCacheSpeedup(t *testing.T) {
 	}
 	t.Logf("measured cache speedup: %.1fx (%d misses %dns, %d hits %dns)",
 		float64(missNanos)/float64(hitNanos), rounds, missNanos, rounds, hitNanos)
+}
+
+// TestSingleflightCoalescing: concurrent identical cache misses run ONE
+// planner call. The leader is held in flight by the testPlanDelay hook
+// until every other request has entered the handler; the followers then
+// wait on the leader's flight and answer with X-Cache: coalesced and
+// byte-identical bodies, counted by dnnserve_cache_coalesced_total.
+// Run under -race this also proves the flight fields publish safely.
+func TestSingleflightCoalescing(t *testing.T) {
+	var plannerCalls atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	testPlanDelay = func() {
+		plannerCalls.Add(1)
+		close(leaderIn)
+		<-release
+	}
+	defer func() { testPlanDelay = nil }()
+
+	s, ts := newTestServer(t, Config{})
+	body := scenarioJSON(t, dnnparallel.New("alexnet", 2048, 512))
+
+	const clients = 8
+	type reply struct {
+		xcache string
+		body   []byte
+	}
+	replies := make(chan reply, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := post(t, ts.URL+"/v1/plan", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, data)
+			}
+			replies <- reply{resp.Header.Get("X-Cache"), data}
+		}()
+	}
+
+	// Hold the leader until every request is inside the handler, then a
+	// beat longer so the followers reach the flight-join, then let the
+	// one planner call finish.
+	<-leaderIn
+	for s.inflight.Value() < clients {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(replies)
+
+	if n := plannerCalls.Load(); n != 1 {
+		t.Fatalf("planner ran %d times for %d identical concurrent requests, want 1", n, clients)
+	}
+	var miss, coalesced, hit int
+	var first []byte
+	for r := range replies {
+		switch r.xcache {
+		case "miss":
+			miss++
+		case "coalesced":
+			coalesced++
+		case "hit":
+			hit++ // a straggler that arrived after the flight resolved
+		default:
+			t.Errorf("unexpected X-Cache %q", r.xcache)
+		}
+		if first == nil {
+			first = r.body
+		} else if !bytes.Equal(first, r.body) {
+			t.Error("coalesced responses served different bytes")
+		}
+	}
+	if miss != 1 {
+		t.Errorf("got %d misses, want exactly 1 (the flight leader)", miss)
+	}
+	if coalesced == 0 {
+		t.Error("no request was coalesced onto the in-flight computation")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Coalesced != int64(coalesced) {
+		t.Errorf("cache stats = %+v, want 1 miss and %d coalesced", st, coalesced)
+	}
+	t.Logf("%d clients: 1 miss, %d coalesced, %d late hits", clients, coalesced, hit)
 }

@@ -70,10 +70,7 @@ func BenchmarkPlanScenarioPipeline(b *testing.B) {
 // ranks, and the layer-cut co-search (7 two-stage partitions of
 // AlexNet's 8 weighted layers per grid).
 func BenchmarkPlanScenarioStages(b *testing.B) {
-	sc := New("alexnet", 2048, 512,
-		WithTimeline(PolicyBackprop),
-		WithMicroBatches(ScheduleOneFOneB, 1, 2, 4, 8),
-		WithStages(2))
+	sc := stagedScenario()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Plan(sc); err != nil {
@@ -81,6 +78,48 @@ func BenchmarkPlanScenarioStages(b *testing.B) {
 		}
 	}
 }
+
+// stagedScenario is the staged AlexNet search both A/B benchmarks
+// below share: the heaviest realistic /v1/plan miss (timeline scoring,
+// micro-batch search, S = 2 stage partitions) and the space where the
+// branch-and-bound lower bounds prune hardest.
+func stagedScenario() Scenario {
+	return New("alexnet", 2048, 512,
+		WithTimeline(PolicyBackprop),
+		WithMicroBatches(ScheduleOneFOneB, 1, 2, 4, 8),
+		WithStages(2))
+}
+
+// BenchmarkPlanScenarioParallel is the B side of the search-engine A/B:
+// the staged search under the parallel engine with bounds on and
+// Workers unset, so `-cpu 1,2,4` sweeps the worker count (the engine
+// defaults workers to GOMAXPROCS). Compare against
+// BenchmarkPlanScenarioSerialBaseline — the result is bit-identical.
+func BenchmarkPlanScenarioParallel(b *testing.B) {
+	sc := stagedScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanScenarioSerialBaseline is the A side: the same staged
+// search forced onto one worker with branch-and-bound disabled —
+// the pre-engine exhaustive behavior, every candidate priced serially.
+func BenchmarkPlanScenarioSerialBaseline(b *testing.B) {
+	sc := stagedScenario()
+	sc.Search = &SearchSpec{Workers: 1, Bounds: boolPtr(false)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func boolPtr(v bool) *bool { return &v }
 
 // BenchmarkScenarioCanonical times the cache-key path alone: the
 // dnnserve per-request fixed cost even on a hit.

@@ -3,8 +3,12 @@
 # planner-facing benchmarks (full search, pipeline search, scenario
 # canonicalization) with 6 repetitions of 2s each — enough samples for
 # benchstat to attach confidence intervals — plus the dnnserve cache
-# benchmarks. Output is standard `go test -bench` text: save it and
-# compare runs with `benchstat old.txt new.txt`.
+# benchmarks, plus the search-engine A/B: interleaved pairs of the
+# serial exhaustive baseline (workers=1, bounds off) against the
+# parallel pruned engine (bounds on) on the staged AlexNet search,
+# alternating A and B each pair so machine drift cancels instead of
+# biasing the comparison. The engine side also sweeps -cpu 1,2,4 so the
+# worker scaling is recorded per GOMAXPROCS.
 #
 # Usage: scripts/bench.sh [output-file]   (default: bench.txt)
 set -e
@@ -13,4 +17,12 @@ out="${1:-bench.txt}"
 go test -run '^$' -bench 'BenchmarkPlanScenario|BenchmarkPlanScenarioPipeline|BenchmarkScenarioCanonical' \
 	-benchmem -count=6 -benchtime=2s . | tee "$out"
 go test -run '^$' -bench 'BenchmarkServePlan' -benchmem -count=3 ./internal/serve/ | tee -a "$out"
+# Interleaved A/B: 6 pairs of (serial baseline, parallel engine), both
+# swept over GOMAXPROCS so each comparison is same-scheduler-config.
+i=1
+while [ "$i" -le 6 ]; do
+	go test -run '^$' -bench 'BenchmarkPlanScenarioSerialBaseline$' -cpu 1,4 -benchmem -benchtime=2s . | tee -a "$out"
+	go test -run '^$' -bench 'BenchmarkPlanScenarioParallel$' -cpu 1,2,4 -benchmem -benchtime=2s . | tee -a "$out"
+	i=$((i + 1))
+done
 echo "wrote $out"
