@@ -55,11 +55,19 @@ type (
 	// pruning); it never changes the returned plan, only how fast it is
 	// found.
 	SearchSpec = scenario.SearchSpec
+	// ConvergenceSpec tunes the steps-to-target model S(B) the
+	// time-to-accuracy objective prices training campaigns with: a
+	// preset curve name and/or explicit {steps_at_b1, critical_b,
+	// exponent} regime constants.
+	ConvergenceSpec = scenario.ConvergenceSpec
 	// ValidationError is returned for every malformed scenario.
 	ValidationError = scenario.ValidationError
 
 	// Mode selects how convolutional layers are treated in the search.
 	Mode = planner.Mode
+	// Objective selects what Plan minimizes: time per iteration or time
+	// to a target accuracy.
+	Objective = planner.Objective
 	// SearchStats is the planner's search telemetry (PlanResult.Stats).
 	SearchStats = planner.SearchStats
 	// Policy selects the timeline overlap policy.
@@ -76,6 +84,13 @@ const (
 	ModeConvBatch  = planner.ConvBatch
 	ModeConvDomain = planner.ConvDomain
 	ModeAuto       = planner.Auto
+
+	// ObjectiveIteration minimizes time per training iteration at the
+	// fixed batch size (the paper's objective, and the default);
+	// ObjectiveTimeToAccuracy minimizes steps-to-target × iteration
+	// seconds and searches Scenario.BatchSizes as an extra dimension.
+	ObjectiveIteration      = planner.Iteration
+	ObjectiveTimeToAccuracy = planner.TimeToAccuracy
 
 	PolicyNone     = timeline.PolicyNone
 	PolicyBackprop = timeline.PolicyBackprop
@@ -207,6 +222,35 @@ func WithPartition(cuts ...int) Option {
 	}
 }
 
+// WithObjective selects what Plan minimizes (default
+// ObjectiveIteration). ObjectiveTimeToAccuracy prices every candidate
+// as steps-to-target × iteration seconds using the network's preset
+// convergence curve unless WithConvergence overrides it.
+func WithObjective(o Objective) Option {
+	return func(s *Scenario) { s.Objective = o }
+}
+
+// WithBatchSizes lists candidate global batch sizes for the
+// time-to-accuracy search (the scenario's Batch is always included).
+// Implies ObjectiveTimeToAccuracy — batch size is only searchable when
+// the objective can trade steps against iteration speed.
+func WithBatchSizes(bs ...int) Option {
+	return func(s *Scenario) {
+		s.Objective = ObjectiveTimeToAccuracy
+		s.BatchSizes = bs
+	}
+}
+
+// WithConvergence tunes the steps-to-target model the time-to-accuracy
+// objective prices campaigns with. Implies ObjectiveTimeToAccuracy —
+// the iteration objective never reads the model.
+func WithConvergence(c ConvergenceSpec) Option {
+	return func(s *Scenario) {
+		s.Objective = ObjectiveTimeToAccuracy
+		s.Convergence = &c
+	}
+}
+
 // WithMemoryLimit rejects plans whose per-process footprint exceeds the
 // limit, in words.
 func WithMemoryLimit(words float64) Option {
@@ -303,10 +347,20 @@ func Plan(s Scenario) (*PlanResult, error) {
 	if err != nil {
 		// Scenario validation already rejected every malformed input the
 		// planner checks, so what remains is an empty feasible set.
-		return nil, &InfeasibleError{
-			Scenario: fmt.Sprintf("B=%d P=%d", r.Batch, r.Procs),
-			Reason:   err.Error(),
+		desc := fmt.Sprintf("B=%d P=%d", r.Batch, r.Procs)
+		if bs := r.Options.BatchSizes; len(bs) > 0 {
+			// BatchSizes is normalized (sorted ascending); the search space
+			// is its union with the base batch.
+			lo, hi := bs[0], bs[len(bs)-1]
+			if r.Batch < lo {
+				lo = r.Batch
+			}
+			if r.Batch > hi {
+				hi = r.Batch
+			}
+			desc = fmt.Sprintf("B=%d..%d P=%d", lo, hi, r.Procs)
 		}
+		return nil, &InfeasibleError{Scenario: desc, Reason: err.Error()}
 	}
 	fillPlanResult(out, &res, r)
 	stats := res.Stats

@@ -255,3 +255,43 @@ func TestPlanResultJSON(t *testing.T) {
 		t.Fatal("wire round trip lost the best plan")
 	}
 }
+
+// TestPlanTimeToAccuracyBuilders drives the campaign search through the
+// façade builders alone: WithBatchSizes implies the tta objective, the
+// winner carries the campaign fields over the wire, and the losing batch
+// sizes appear in All alongside it.
+func TestPlanTimeToAccuracyBuilders(t *testing.T) {
+	sc := New("alexnet", 512, 512,
+		WithBatchSizes(256, 512, 1024, 2048),
+		WithConvergence(ConvergenceSpec{StepsAtB1: 1.5e8}))
+	if sc.Objective != ObjectiveTimeToAccuracy {
+		t.Fatalf("builders left objective = %v, want time-to-accuracy", sc.Objective)
+	}
+	res, err := Plan(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best
+	if best.Batch == 0 || best.StepsToTarget <= 0 || best.TimeToAccuracySeconds <= 0 {
+		t.Fatalf("tta winner missing campaign fields: %+v", best)
+	}
+	if got := best.StepsToTarget * best.IterSeconds; got != best.TimeToAccuracySeconds {
+		t.Fatalf("tta = %g, want steps × iter = %g", best.TimeToAccuracySeconds, got)
+	}
+	batches := map[int]bool{}
+	for _, p := range res.All {
+		batches[p.Batch] = true
+	}
+	for _, b := range []int{256, 512, 1024, 2048} {
+		if !batches[b] {
+			t.Fatalf("All misses candidate batch %d (got %v)", b, batches)
+		}
+	}
+	// The same spec under the iteration objective is rejected: B is
+	// fixed by definition there.
+	bad := sc
+	bad.Objective = ObjectiveIteration
+	if _, err := Plan(bad); err == nil {
+		t.Fatal("Plan accepted batch_sizes under the iteration objective")
+	}
+}

@@ -397,6 +397,19 @@ func StageTable(stages []dnnparallel.StageSummary) string {
 		rows)
 }
 
+// campaignSizes is the number of global batch sizes a time-to-accuracy
+// search sweeps: batch_sizes ∪ {B} (the base batch is always a
+// candidate).
+func campaignSizes(sc dnnparallel.Scenario) int {
+	n := len(sc.BatchSizes)
+	for _, b := range sc.BatchSizes {
+		if b == sc.Batch {
+			return n
+		}
+	}
+	return n + 1
+}
+
 // RenderPlan renders a PlanResult exactly as the dnnplan CLI prints it.
 // PlanMain calls this on the façade's output, so CLI text and API result
 // cannot disagree.
@@ -404,25 +417,41 @@ func RenderPlan(res *dnnparallel.PlanResult, gantt bool) string {
 	var b strings.Builder
 	sc := res.Scenario
 	topoAware := sc.Topology != nil
+	tta := sc.Objective == dnnparallel.ObjectiveTimeToAccuracy
 	microSearch := false
 	for _, m := range sc.MicroBatches {
 		if m > 1 {
 			microSearch = true
 		}
 	}
-	fmt.Fprintf(&b, "%s, B=%d, P=%d, mode=%v, machine=%s\n\n",
-		res.Network, sc.Batch, sc.Procs, sc.Mode, res.Machine)
+	if tta {
+		fmt.Fprintf(&b, "%s, B=%d (%d campaign batch sizes), P=%d, mode=%v, objective=time-to-accuracy, machine=%s\n\n",
+			res.Network, sc.Batch, campaignSizes(sc), sc.Procs, sc.Mode, res.Machine)
+	} else {
+		fmt.Fprintf(&b, "%s, B=%d, P=%d, mode=%v, machine=%s\n\n",
+			res.Network, sc.Batch, sc.Procs, sc.Mode, res.Machine)
+	}
 	header := []string{"Grid"}
+	if tta {
+		header = []string{"B", "Grid"}
+	}
 	if topoAware {
 		header = append(header, "place")
 	}
 	if microSearch {
 		header = append(header, "µbatch", "bubble")
 	}
-	header = append(header, "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch", "")
+	header = append(header, "comm s/iter", "comp s/iter", "exposed s/iter", "total s/iter", "s/epoch")
+	if tta {
+		header = append(header, "steps", "s to target")
+	}
+	header = append(header, "")
 	var rows [][]string
 	for _, p := range res.All {
 		row := []string{p.Grid}
+		if tta {
+			row = []string{fmt.Sprintf("%d", p.Batch), p.Grid}
+		}
 		if topoAware {
 			if p.Feasible {
 				row = append(row, p.Placement.String())
@@ -438,21 +467,34 @@ func RenderPlan(res *dnnparallel.PlanResult, gantt bool) string {
 			}
 		}
 		if !p.Feasible {
-			row = append(row, "-", "-", "-", "-", "-", "infeasible: "+p.Reason)
+			row = append(row, "-", "-", "-", "-", "-")
+			if tta {
+				row = append(row, "-", "-")
+			}
+			row = append(row, "infeasible: "+p.Reason)
 		} else {
 			note := ""
-			if p.Grid == res.Best.Grid {
+			if p.Grid == res.Best.Grid && (!tta || p.Batch == res.Best.Batch) {
 				note = "← best"
 			}
 			row = append(row,
 				report.F(p.CommSeconds), report.F(p.CompSeconds),
 				report.F(p.ExposedCommSeconds),
-				report.F(p.IterSeconds), report.F(p.EpochSeconds),
-				note)
+				report.F(p.IterSeconds), report.F(p.EpochSeconds))
+			if tta {
+				row = append(row, fmt.Sprintf("%.4g", p.StepsToTarget), report.F(p.TimeToAccuracySeconds))
+			}
+			row = append(row, note)
 		}
 		rows = append(rows, row)
 	}
 	b.WriteString(report.Table(header, rows))
+	if tta {
+		fmt.Fprintf(&b, "\nTime-to-accuracy winner: B=%d on grid %s — %.4g steps × %ss/iter = %ss (%.3g h)\n",
+			res.Best.Batch, res.Best.Grid, res.Best.StepsToTarget,
+			report.F(res.Best.IterSeconds), report.F(res.Best.TimeToAccuracySeconds),
+			res.Best.TimeToAccuracySeconds/3600)
+	}
 	if microSearch {
 		fmt.Fprintf(&b, "\nBest plan schedule: %v, M=%d micro-batches (bubble %.1f%%)\n",
 			res.Best.Schedule, res.Best.MicroBatch, 100*res.Best.BubbleFraction)

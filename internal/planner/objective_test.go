@@ -1,0 +1,227 @@
+package planner
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dnnparallel/internal/convergence"
+	"dnnparallel/internal/nn"
+)
+
+// ttaOptions is the canonical time-to-accuracy search: the AlexNet
+// preset curve and a power-of-two batch sweep spanning all three Shallue
+// regimes around the critical batch.
+func ttaOptions(t testing.TB) Options {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Objective = TimeToAccuracy
+	curve, err := convergence.Preset("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Curve = curve
+	opts.BatchSizes = []int{256, 512, 1024, 2048, 4096, 8192, 16384}
+	return opts
+}
+
+// TestTTAWinnerDiffersFromIterationWinner is the demo the subsystem
+// exists for: on AlexNet at P=512 the per-iteration winner (cheapest
+// single step at the base batch) is NOT the time-to-accuracy winner —
+// larger batches buy fewer steps to the target than they cost in
+// per-step time, up to the critical batch. The winning pair is pinned so
+// a cost-model change that silently flips the story fails here.
+func TestTTAWinnerDiffersFromIterationWinner(t *testing.T) {
+	const B, P = 512, 512
+	iter, err := Optimize(nn.AlexNet(), B, P, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tta, err := Optimize(nn.AlexNet(), B, P, ttaOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter.Best.Batch != B {
+		t.Fatalf("iteration winner batch = %d, want the fixed base batch %d", iter.Best.Batch, B)
+	}
+	if g := iter.Best.Grid.String(); g != "64x8" {
+		t.Fatalf("iteration winner grid = %s, want the pinned 64x8", g)
+	}
+	if tta.Best.Batch == iter.Best.Batch && tta.Best.Grid == iter.Best.Grid {
+		t.Fatalf("tta winner (B=%d, %v) equals the per-iteration winner — the batch dimension bought nothing",
+			tta.Best.Batch, tta.Best.Grid)
+	}
+	if tta.Best.Batch != 2048 || tta.Best.Grid.String() != "32x16" {
+		t.Fatalf("tta winner = (B=%d, %v), want the pinned (B=2048, 32x16)", tta.Best.Batch, tta.Best.Grid)
+	}
+	// The campaign winner must actually beat the per-iteration winner's
+	// campaign: same curve, S(B) × iter seconds.
+	iterCampaign := ttaOptions(t).Curve.Steps(iter.Best.Batch) * iter.Best.IterSeconds
+	if tta.Best.TimeToAccuracySeconds >= iterCampaign {
+		t.Fatalf("tta winner %.4gs does not beat the iteration winner's campaign %.4gs",
+			tta.Best.TimeToAccuracySeconds, iterCampaign)
+	}
+	if tta.Best.StepsToTarget <= 0 || tta.Best.TimeToAccuracySeconds <= 0 {
+		t.Fatalf("tta winner missing campaign fields: steps=%g tta=%g",
+			tta.Best.StepsToTarget, tta.Best.TimeToAccuracySeconds)
+	}
+	// And the iteration-objective result must not carry campaign fields.
+	if iter.Best.StepsToTarget != 0 || iter.Best.TimeToAccuracySeconds != 0 {
+		t.Fatalf("iteration winner carries campaign fields: steps=%g tta=%g",
+			iter.Best.StepsToTarget, iter.Best.TimeToAccuracySeconds)
+	}
+}
+
+// TestTTAWorkerParity extends the tentpole determinism guarantee to the
+// batch-size dimension: the joint (B × grid × placement) search is
+// bit-identical for any worker count.
+func TestTTAWorkerParity(t *testing.T) {
+	opts := ttaOptions(t)
+	opts.Workers = 1
+	ref, err := Optimize(nn.AlexNet(), 512, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Stats = ref.Stats.ZeroTimes()
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		opts.Workers = w
+		got, err := Optimize(nn.AlexNet(), 512, 512, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got.Stats = got.Stats.ZeroTimes()
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: tta Result differs from workers=1", w)
+		}
+	}
+}
+
+// TestTTABoundsNeverChangeWinner: the per-B lower bound S(B) ×
+// computeFloor(B) may only skip losers — winner, baseline, and count
+// reconciliation must match the exhaustive sweep, and on this scenario
+// the bound must actually fire.
+func TestTTABoundsNeverChangeWinner(t *testing.T) {
+	opts := ttaOptions(t)
+	bounded, err := Optimize(nn.AlexNet(), 512, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableBounds = true
+	full, err := Optimize(nn.AlexNet(), 512, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bounded.Best, full.Best) {
+		t.Fatalf("bounds changed the tta winner:\n  on:  %v\n  off: %v", bounded.Best, full.Best)
+	}
+	if !reflect.DeepEqual(bounded.PureBatch, full.PureBatch) {
+		t.Fatal("bounds changed the pure-batch baseline")
+	}
+	if bounded.Stats.Bounded == 0 {
+		t.Fatalf("expected the batch sweep to prune, got Bounded=0 (%d candidates)", bounded.Stats.Candidates)
+	}
+	if full.Stats.Bounded != 0 {
+		t.Fatalf("DisableBounds still bounded %d candidates", full.Stats.Bounded)
+	}
+	if bounded.Stats.Candidates != full.Stats.Candidates {
+		t.Fatalf("bounds changed the candidate count: %d != %d",
+			bounded.Stats.Candidates, full.Stats.Candidates)
+	}
+}
+
+// TestTTAStatsReconcile: the batch sweep keeps the SearchStats identity
+// exact and stamps the new batch counters and trajectory fields.
+func TestTTAStatsReconcile(t *testing.T) {
+	opts := ttaOptions(t)
+	res, err := Optimize(nn.AlexNet(), 512, 512, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if !st.Reconciles() {
+		t.Fatalf("stats do not reconcile: candidates=%d priced=%d infeasible=%d memory=%d bounded=%d",
+			st.Candidates, st.Priced, st.InfeasiblePruned, st.MemoryPruned, st.Bounded)
+	}
+	if want := len(opts.BatchSizes); st.BatchSizesSearched != want {
+		t.Fatalf("BatchSizesSearched = %d, want %d", st.BatchSizesSearched, want)
+	}
+	if len(st.Improvements) == 0 {
+		t.Fatal("empty improvement trajectory")
+	}
+	for i, im := range st.Improvements {
+		if im.Batch <= 0 || im.TTASeconds <= 0 {
+			t.Fatalf("Improvements[%d] missing tta fields: %+v", i, im)
+		}
+	}
+	last := st.Improvements[len(st.Improvements)-1]
+	if last.Batch != res.Best.Batch || last.TTASeconds != res.Best.TimeToAccuracySeconds {
+		t.Fatalf("trajectory does not end on the winner: %+v vs B=%d tta=%g",
+			last, res.Best.Batch, res.Best.TimeToAccuracySeconds)
+	}
+	s := st.String()
+	if !strings.Contains(s, "global batch sizes searched") {
+		t.Fatalf("stats String omits the batch line:\n%s", s)
+	}
+}
+
+// TestIterationRejectsBatchSizes: batch-size search is only meaningful
+// under the time-to-accuracy objective — B is fixed by definition when
+// minimizing per-iteration time.
+func TestIterationRejectsBatchSizes(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchSizes = []int{256, 512}
+	if _, err := Optimize(nn.AlexNet(), 512, 512, opts); err == nil {
+		t.Fatal("Optimize accepted BatchSizes under the iteration objective")
+	}
+}
+
+// TestTTARequiresValidCurve: the time-to-accuracy objective without a
+// usable convergence curve is a configuration error, not a panic deep in
+// pricing.
+func TestTTARequiresValidCurve(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Objective = TimeToAccuracy
+	if _, err := Optimize(nn.AlexNet(), 512, 512, opts); err == nil {
+		t.Fatal("Optimize accepted a zero convergence curve under tta")
+	}
+}
+
+// TestTTAInfeasibleNamesBatchRange is the satellite regression test:
+// when the memory limit empties every (B, grid) candidate, the error
+// names the batch-size range tried and the tightest footprint that still
+// missed, instead of a bare "no feasible configuration".
+func TestTTAInfeasibleNamesBatchRange(t *testing.T) {
+	opts := ttaOptions(t)
+	opts.BatchSizes = []int{256, 512, 1024}
+	opts.MemoryLimitWords = 1 // every sized candidate exceeds this
+	_, err := Optimize(nn.AlexNet(), 512, 512, opts)
+	if err == nil {
+		t.Fatal("expected an infeasible error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"B=256..1024 (3 batch sizes)",
+		"exceed the memory limit",
+		"tightest footprint",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("infeasible error %q does not mention %q", msg, want)
+		}
+	}
+
+	// Single-batch spelling: no range, but still the memory diagnosis.
+	single := DefaultOptions()
+	single.MemoryLimitWords = 1
+	_, err = Optimize(nn.AlexNet(), 512, 512, single)
+	if err == nil {
+		t.Fatal("expected an infeasible error")
+	}
+	msg = err.Error()
+	if !strings.Contains(msg, "B=512") || strings.Contains(msg, "batch sizes") {
+		t.Fatalf("single-batch infeasible error has the wrong span: %q", msg)
+	}
+	if !strings.Contains(msg, "tightest footprint") {
+		t.Fatalf("single-batch infeasible error lost the memory diagnosis: %q", msg)
+	}
+}

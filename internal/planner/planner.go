@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dnnparallel/internal/compute"
+	"dnnparallel/internal/convergence"
 	"dnnparallel/internal/costmodel"
 	"dnnparallel/internal/grid"
 	"dnnparallel/internal/machine"
@@ -191,6 +192,25 @@ type Options struct {
 	// bit-identical for every worker count, including 1; parallelism
 	// changes only wall time.
 	Workers int
+	// Objective selects what the search minimizes: Iteration (the zero
+	// value — the paper's per-iteration objective, provably bit-identical
+	// to the pre-objective planner) or TimeToAccuracy, which prices every
+	// candidate as Curve.Steps(B) × its iteration seconds — the predicted
+	// wall clock of the whole training campaign — and unlocks BatchSizes
+	// as the outermost search dimension.
+	Objective Objective
+	// Curve is the steps-to-target model S(B) the TimeToAccuracy
+	// objective prices campaigns with (required and validated there,
+	// ignored under Iteration). See internal/convergence for the
+	// three-regime shape and per-network presets.
+	Curve convergence.Curve
+	// BatchSizes lists candidate global batch sizes searched as the
+	// outermost dimension under the TimeToAccuracy objective (Optimize
+	// rejects it under Iteration, where B is fixed by definition). The
+	// base B passed to Optimize is always included — it anchors the
+	// pure-batch baseline — and the space is searched sorted ascending
+	// with duplicates removed. Empty means {B}.
+	BatchSizes []int
 	// DisableBounds switches off branch-and-bound pruning. With bounds
 	// on (the default), a candidate whose monotone compute lower bound
 	// already exceeds the best iteration time of earlier search chunks
@@ -257,6 +277,36 @@ func (o Options) stageCounts() []int {
 		return []int{o.PipelineStages}
 	}
 	return []int{1}
+}
+
+// batchSizes returns the batch search space: the base B alone under the
+// Iteration objective (or when BatchSizes is empty), else the sorted,
+// deduplicated union of BatchSizes and {B}.
+func (o Options) batchSizes(B int) []int {
+	if o.Objective != TimeToAccuracy || len(o.BatchSizes) == 0 {
+		return []int{B}
+	}
+	bs := append([]int{B}, o.BatchSizes...)
+	sort.Ints(bs)
+	out := bs[:1]
+	for _, b := range bs[1:] {
+		if b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// objectiveCost returns the quantity the search minimizes for a feasible
+// plan: iteration seconds under Iteration, the campaign's steps ×
+// seconds under TimeToAccuracy. Within one batch size the two orderings
+// agree (S(B) is a positive constant there); across batch sizes only the
+// TimeToAccuracy cost is comparable.
+func (o Options) objectiveCost(p *Plan) float64 {
+	if o.Objective == TimeToAccuracy {
+		return p.TimeToAccuracySeconds
+	}
+	return p.IterSeconds
 }
 
 // maxPartitions returns the partition-enumeration cap (see
@@ -336,6 +386,18 @@ type Plan struct {
 	Stages    int
 	Partition []int
 	PerStage  []costmodel.StageCost
+
+	// Batch is the global batch size the plan was priced at: Optimize's
+	// B argument unless a TimeToAccuracy search selected another
+	// candidate from Options.BatchSizes.
+	Batch int
+	// StepsToTarget and TimeToAccuracySeconds are the TimeToAccuracy
+	// objective's campaign prediction for a feasible plan: the modeled
+	// optimization steps to the target accuracy at Batch
+	// (Options.Curve.Steps), and steps × IterSeconds — the quantity the
+	// search minimizes. Zero under the Iteration objective.
+	StepsToTarget         float64
+	TimeToAccuracySeconds float64
 
 	CommSeconds  float64 // per-iteration communication
 	CompSeconds  float64 // per-iteration computation
@@ -451,12 +513,27 @@ func autoAssignment(net *nn.Network, B int, g grid.Grid, env costmodel.Env) cost
 }
 
 // Evaluate prices one (grid, mode) configuration over the placement and
-// stage-count search spaces and returns the best plan (ties keep the
+// stage-count search spaces — and, under the TimeToAccuracy objective,
+// over Options.BatchSizes — and returns the best plan (ties keep the
 // earlier placement, so flat machines deterministically report
 // row-major). For stage counts > 1 the grid is the shared per-stage
 // grid: the machine has S × g.P() ranks, stage k's block starting at
 // rank k·g.P().
 func Evaluate(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
+	batches := opts.batchSizes(B)
+	best := evaluateBatch(net, batches[0], g, opts)
+	for _, b := range batches[1:] {
+		if p := evaluateBatch(net, b, g, opts); p.Feasible &&
+			(!best.Feasible || opts.objectiveCost(&p) < opts.objectiveCost(&best)) {
+			best = p
+		}
+	}
+	return best
+}
+
+// evaluateBatch prices one (grid, batch size) pair over the stage-count
+// search space.
+func evaluateBatch(net *nn.Network, B int, g grid.Grid, opts Options) Plan {
 	counts := opts.stageCounts()
 	best := evaluateStageCount(net, B, g, counts[0], opts, nil)
 	for _, S := range counts[1:] {
@@ -482,7 +559,7 @@ func evaluateStageCount(net *nn.Network, B int, g grid.Grid, S int, opts Options
 			st.StageCandidates++
 			st.InfeasiblePruned++
 		}
-		return Plan{Grid: g, Mode: opts.Mode, Stages: S, MicroBatch: 1, Schedule: opts.Schedule, Reason: err.Error()}
+		return Plan{Grid: g, Batch: B, Mode: opts.Mode, Stages: S, MicroBatch: 1, Schedule: opts.Schedule, Reason: err.Error()}
 	}
 	return evaluateStagedGrid(net, B, S, g, parts, opts, st)
 }
@@ -529,7 +606,7 @@ func evaluateStagedAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, pa
 	}
 	S := part.Stages()
 	sched := timeline.Schedule{Shape: opts.Schedule, MicroBatches: micro, Stages: S}
-	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape,
+	p := Plan{Grid: g, Batch: B, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape,
 		Stages: S, Partition: part.Cuts()}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
@@ -620,6 +697,10 @@ func evaluateStagedAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, pa
 	if opts.DatasetN > 0 {
 		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
 	}
+	if opts.Objective == TimeToAccuracy {
+		p.StepsToTarget = opts.Curve.Steps(B)
+		p.TimeToAccuracySeconds = p.StepsToTarget * p.IterSeconds
+	}
 	return p
 }
 
@@ -677,7 +758,7 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 	if micro != 1 {
 		return evaluatePipelineAt(net, B, g, pl, opts, micro, st)
 	}
-	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: 1}
+	p := Plan{Grid: g, Batch: B, Placement: pl, Mode: opts.Mode, MicroBatch: 1, Schedule: opts.Schedule, Stages: 1}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
@@ -768,6 +849,10 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 	if opts.DatasetN > 0 {
 		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
 	}
+	if opts.Objective == TimeToAccuracy {
+		p.StepsToTarget = opts.Curve.Steps(B)
+		p.TimeToAccuracySeconds = p.StepsToTarget * p.IterSeconds
+	}
 	return p
 }
 
@@ -781,7 +866,7 @@ func evaluateMicroAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opt
 // accounted to the simulate phase (see SearchStats).
 func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, opts Options, micro int, st *SearchStats) Plan {
 	sched := opts.schedule(micro)
-	p := Plan{Grid: g, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape, Stages: 1}
+	p := Plan{Grid: g, Batch: B, Placement: pl, Mode: opts.Mode, MicroBatch: micro, Schedule: sched.Shape, Stages: 1}
 	ok, reason := feasible(net, B, g, opts.Mode)
 	if !ok {
 		p.Reason = reason
@@ -864,6 +949,10 @@ func evaluatePipelineAt(net *nn.Network, B int, g grid.Grid, pl grid.Placement, 
 	if opts.DatasetN > 0 {
 		p.EpochSeconds = costmodel.EpochSeconds(p.IterSeconds, opts.DatasetN, B)
 	}
+	if opts.Objective == TimeToAccuracy {
+		p.StepsToTarget = opts.Curve.Steps(B)
+		p.TimeToAccuracySeconds = p.StepsToTarget * p.IterSeconds
+	}
 	return p
 }
 
@@ -939,6 +1028,23 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("planner: pinned partition %v implies exactly S=%d, searching %v",
 			opts.Partition, len(opts.Partition)+1, counts)
 	}
+	if opts.Objective != Iteration && opts.Objective != TimeToAccuracy {
+		return Result{}, fmt.Errorf("planner: invalid objective %d", int(opts.Objective))
+	}
+	if len(opts.BatchSizes) > 0 && opts.Objective != TimeToAccuracy {
+		return Result{}, fmt.Errorf("planner: BatchSizes search needs Objective=%v (B is fixed by definition under %v)",
+			TimeToAccuracy, opts.Objective)
+	}
+	if opts.Objective == TimeToAccuracy {
+		if err := opts.Curve.Validate(); err != nil {
+			return Result{}, fmt.Errorf("planner: the %v objective needs a steps-to-target model: %w", TimeToAccuracy, err)
+		}
+	}
+	for _, b := range opts.BatchSizes {
+		if b < 1 {
+			return Result{}, fmt.Errorf("planner: batch-size candidates must be ≥ 1, got %d", b)
+		}
+	}
 	var res Result
 	st := &res.Stats
 	wallStart := time.Now()
@@ -960,17 +1066,25 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	best := math.Inf(1)
 	record := func(p Plan) {
 		res.All = append(res.All, p)
-		if p.Feasible && p.IterSeconds < best {
-			best = p.IterSeconds
+		if !p.Feasible {
+			return
+		}
+		if c := opts.objectiveCost(&p); c < best {
+			best = c
 			res.Best = p
-			st.Improvements = append(st.Improvements, Improvement{
+			im := Improvement{
 				Grid:        p.Grid.String(),
 				Placement:   p.Placement,
 				MicroBatch:  p.MicroBatch,
 				Stages:      p.Stages,
 				Partition:   p.Partition,
 				IterSeconds: p.IterSeconds,
-			})
+			}
+			if opts.Objective == TimeToAccuracy {
+				im.Batch = p.Batch
+				im.TTASeconds = p.TimeToAccuracySeconds
+			}
+			st.Improvements = append(st.Improvements, im)
 		}
 	}
 	for i := range s.slots {
@@ -992,13 +1106,17 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 	}
 	st.WallSeconds = time.Since(wallStart).Seconds()
 	if math.IsInf(best, 1) {
-		return res, fmt.Errorf("planner: no feasible configuration for B=%d P=%d mode=%v", B, P, opts.Mode)
+		return res, s.infeasibleError(st)
 	}
-	// A single stage count emits plans in Factorizations order already —
-	// increasing Pr — so only a multi-count sweep needs the re-sort (and
-	// the hot single-stage path skips the reflect-based swap entirely).
-	if len(counts) > 1 {
+	// A single (stage count, batch size) emits plans in Factorizations
+	// order already — increasing Pr — so only a multi-count or multi-batch
+	// sweep needs the re-sort (and the hot single-stage path skips the
+	// reflect-based swap entirely).
+	if len(counts) > 1 || len(s.batches) > 1 {
 		sort.SliceStable(res.All, func(i, j int) bool {
+			if res.All[i].Batch != res.All[j].Batch {
+				return res.All[i].Batch < res.All[j].Batch
+			}
 			if res.All[i].Stages != res.All[j].Stages {
 				return res.All[i].Stages < res.All[j].Stages
 			}
@@ -1006,4 +1124,32 @@ func Optimize(net *nn.Network, B, P int, opts Options) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// infeasibleError explains an empty feasible set. When the memory limit
+// alone emptied it (no candidate was ever fully priced and at least one
+// fell to the limit), the error names the batch-size range tried and the
+// tightest per-process footprint that still failed — the two knobs a
+// caller can actually act on — instead of a bare "no feasible
+// configuration".
+func (s *search) infeasibleError(st *SearchStats) error {
+	o := s.opts
+	span := fmt.Sprintf("B=%d", s.batches[0])
+	if len(s.batches) > 1 {
+		span = fmt.Sprintf("B=%d..%d (%d batch sizes)", s.batches[0], s.batches[len(s.batches)-1], len(s.batches))
+	}
+	if st.Priced == 0 && st.MemoryPruned > 0 {
+		tightest := math.Inf(1)
+		for i := range s.plans {
+			p := &s.plans[i]
+			// The exact prune condition of the evaluate paths: a footprint
+			// was derived and exceeded the limit.
+			if !p.Feasible && p.MemoryWords > o.MemoryLimitWords && p.MemoryWords < tightest {
+				tightest = p.MemoryWords
+			}
+		}
+		return fmt.Errorf("planner: no feasible configuration for %s P=%d mode=%v: all %d sized candidates exceed the memory limit %.3g words (tightest footprint %.3g words)",
+			span, s.P, o.Mode, st.MemoryPruned, o.MemoryLimitWords, tightest)
+	}
+	return fmt.Errorf("planner: no feasible configuration for %s P=%d mode=%v", span, s.P, o.Mode)
 }

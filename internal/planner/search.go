@@ -142,25 +142,28 @@ type floorKey struct {
 	pl     grid.Placement
 }
 
-// leaf is one fully specified candidate: a (stage count, grid,
-// placement, partition, micro-batch) tuple awaiting evaluation.
+// leaf is one fully specified candidate: a (batch size, stage count,
+// grid, placement, partition, micro-batch) tuple awaiting evaluation.
 type leaf struct {
+	B     int
 	S     int
 	g     grid.Grid
 	pl    grid.Placement
 	part  stage.Partition // S > 1 only
 	micro int
-	// pure marks the 1×P pure-batch baseline, which is exempt from
-	// bounding: Result.PureBatch is the reference the paper's speedups
-	// are quoted against, so it must always be fully priced.
+	// pure marks the 1×P pure-batch baseline at the base batch size,
+	// which is exempt from bounding: Result.PureBatch is the reference
+	// the paper's speedups are quoted against, so it must always be
+	// fully priced.
 	pure bool
 }
 
-// slot is one entry of Result.All: a (stage count, grid) pair whose
-// leaves [start, start+n) reduce to a single reported plan. Pseudo slots
-// (S values that do not divide P, partition errors) carry their
-// pre-built infeasible plan and own no leaves.
+// slot is one entry of Result.All: a (batch size, stage count, grid)
+// tuple whose leaves [start, start+n) reduce to a single reported plan.
+// Pseudo slots (S values that do not divide P, partition errors) carry
+// their pre-built infeasible plan and own no leaves.
 type slot struct {
+	B          int
 	S          int
 	g          grid.Grid
 	pure       bool
@@ -173,14 +176,20 @@ type slot struct {
 // search is one Optimize invocation's engine state.
 type search struct {
 	net    *nn.Network
-	B, P   int
+	B, P   int // B is the base batch size (Optimize's argument)
 	opts   Options
 	bounds bool
 	cc     *computeCache
 	floors map[floorKey]float64
-	slots  []slot
-	leaves []leaf
-	plans  []Plan
+	// batches is the batch search space (Options.batchSizes(B)); steps
+	// memoizes Curve.Steps per batch size under the TimeToAccuracy
+	// objective (nil under Iteration), converting iteration-time lower
+	// bounds and incumbents into objective units.
+	batches []int
+	steps   map[int]float64
+	slots   []slot
+	leaves  []leaf
+	plans   []Plan
 	// lbs/lbOK hold the per-leaf lower bounds computed once by run()'s
 	// ordering pass; evalLeaf reads them instead of re-deriving the bound
 	// per leaf. Nil when bounds are disabled.
@@ -189,22 +198,43 @@ type search struct {
 }
 
 func newSearch(net *nn.Network, B, P int, opts Options) *search {
-	return &search{
-		net:    net,
-		B:      B,
-		P:      P,
-		opts:   opts,
-		bounds: !opts.DisableBounds,
-		cc:     newComputeCache(opts.Compute, net),
-		floors: make(map[floorKey]float64),
+	s := &search{
+		net:     net,
+		B:       B,
+		P:       P,
+		opts:    opts,
+		bounds:  !opts.DisableBounds,
+		cc:      newComputeCache(opts.Compute, net),
+		floors:  make(map[floorKey]float64),
+		batches: opts.batchSizes(B),
 	}
+	if opts.Objective == TimeToAccuracy {
+		s.steps = make(map[int]float64, len(s.batches))
+		for _, b := range s.batches {
+			s.steps[b] = opts.Curve.Steps(b)
+		}
+	}
+	return s
+}
+
+// objectiveScale returns the factor converting a leaf's iteration-time
+// lower bound into objective units: S(B) under TimeToAccuracy, exactly 1
+// under Iteration.
+func (s *search) objectiveScale(B int) float64 {
+	if s.steps == nil {
+		return 1
+	}
+	return s.steps[B]
 }
 
 // enumerate builds the slot and leaf lists in the serial search order —
-// stage counts, then grid factorizations, then placements × partitions ×
-// micro-batches — pre-filling the compute memo and the ∆W floors, and
-// counting the enumeration-side telemetry (grids, stage counts,
-// partitions, and the pseudo-slot candidates) into st.
+// batch sizes, then stage counts, then grid factorizations, then
+// placements × partitions × micro-batches — pre-filling the compute memo
+// and the ∆W floors, and counting the enumeration-side telemetry
+// (batches, grids, stage counts, partitions, and the pseudo-slot
+// candidates) into st. The candidate partitions per stage count are
+// batch-independent, so they are enumerated once and shared across the
+// batch sweep (stage counts are likewise counted once).
 func (s *search) enumerate(st *SearchStats) {
 	o := s.opts
 	counts := o.stageCounts()
@@ -219,85 +249,101 @@ func (s *search) enumerate(st *SearchStats) {
 	// compute-only bound stands alone there.
 	needFloors := s.bounds && !o.UseTimeline && !o.Overlap && o.topology().Uniform()
 	var layerCosts []float64
-	for _, S := range counts {
-		st.StageCountsSearched++
-		if S == 1 {
-			for _, g := range grid.Factorizations(s.P) {
+	type partsMemo struct {
+		parts []stage.Partition
+		err   error
+	}
+	partsBy := make(map[int]partsMemo)
+	st.BatchSizesSearched = len(s.batches)
+	for bi, B := range s.batches {
+		for _, S := range counts {
+			if bi == 0 {
+				st.StageCountsSearched++
+			}
+			if S == 1 {
+				for _, g := range grid.Factorizations(s.P) {
+					st.GridsEnumerated++
+					gp := pls
+					if g.Pr == 1 || g.Pc == 1 {
+						// Degenerate grids have identical rank mappings under
+						// every placement; extra placements would duplicate
+						// the first plan.
+						gp = gp[:1]
+					}
+					sl := slot{B: B, S: 1, g: g, pure: B == s.B && g.IsPureBatch(), start: len(s.leaves),
+						placements: len(gp), micros: len(micros)}
+					for _, pl := range gp {
+						if needFloors {
+							s.fillFloor(g, pl)
+						}
+						for _, m := range micros {
+							s.leaves = append(s.leaves, leaf{B: B, S: 1, g: g, pl: pl, micro: m, pure: sl.pure})
+						}
+					}
+					s.prefillTimes(B, g, micros)
+					sl.n = len(s.leaves) - sl.start
+					s.slots = append(s.slots, sl)
+				}
+				continue
+			}
+			if s.P%S != 0 {
+				st.Candidates++
+				st.StageCandidates++
+				st.InfeasiblePruned++
+				p := Plan{Batch: B, Mode: o.Mode, MicroBatch: 1, Schedule: o.Schedule, Stages: S,
+					Reason: fmt.Sprintf("S=%d stages do not divide P=%d", S, s.P)}
+				s.slots = append(s.slots, slot{B: B, S: S, pseudo: &p})
+				continue
+			}
+			pm, ok := partsBy[S]
+			if !ok {
+				if layerCosts == nil {
+					layerCosts = layerComputeCosts(s.net)
+				}
+				pm.parts, pm.err = o.partitionsFrom(layerCosts, S)
+				partsBy[S] = pm
+				if pm.err == nil {
+					st.PartitionsEnumerated += len(pm.parts)
+				}
+			}
+			if pm.err != nil {
+				st.Candidates++
+				st.StageCandidates++
+				st.InfeasiblePruned++
+				p := Plan{Batch: B, Mode: o.Mode, MicroBatch: 1, Schedule: o.Schedule, Stages: S, Reason: pm.err.Error()}
+				s.slots = append(s.slots, slot{B: B, S: S, pseudo: &p})
+				continue
+			}
+			for _, g := range grid.Factorizations(s.P / S) {
 				st.GridsEnumerated++
 				gp := pls
 				if g.Pr == 1 || g.Pc == 1 {
-					// Degenerate grids have identical rank mappings under
-					// every placement; extra placements would duplicate
-					// the first plan.
 					gp = gp[:1]
 				}
-				sl := slot{S: 1, g: g, pure: g.IsPureBatch(), start: len(s.leaves),
-					placements: len(gp), micros: len(micros)}
+				sl := slot{B: B, S: S, g: g, start: len(s.leaves)}
 				for _, pl := range gp {
-					if needFloors {
-						s.fillFloor(g, pl)
-					}
-					for _, m := range micros {
-						s.leaves = append(s.leaves, leaf{S: 1, g: g, pl: pl, micro: m, pure: sl.pure})
+					for _, part := range pm.parts {
+						for _, m := range micros {
+							s.leaves = append(s.leaves, leaf{B: B, S: S, g: g, pl: pl, part: part, micro: m})
+						}
 					}
 				}
-				s.prefillTimes(g, micros)
+				s.prefillTimes(B, g, micros)
 				sl.n = len(s.leaves) - sl.start
 				s.slots = append(s.slots, sl)
 			}
-			continue
-		}
-		if s.P%S != 0 {
-			st.Candidates++
-			st.StageCandidates++
-			st.InfeasiblePruned++
-			p := Plan{Mode: o.Mode, MicroBatch: 1, Schedule: o.Schedule, Stages: S,
-				Reason: fmt.Sprintf("S=%d stages do not divide P=%d", S, s.P)}
-			s.slots = append(s.slots, slot{S: S, pseudo: &p})
-			continue
-		}
-		if layerCosts == nil {
-			layerCosts = layerComputeCosts(s.net)
-		}
-		parts, err := o.partitionsFrom(layerCosts, S)
-		if err != nil {
-			st.Candidates++
-			st.StageCandidates++
-			st.InfeasiblePruned++
-			p := Plan{Mode: o.Mode, MicroBatch: 1, Schedule: o.Schedule, Stages: S, Reason: err.Error()}
-			s.slots = append(s.slots, slot{S: S, pseudo: &p})
-			continue
-		}
-		st.PartitionsEnumerated += len(parts)
-		for _, g := range grid.Factorizations(s.P / S) {
-			st.GridsEnumerated++
-			gp := pls
-			if g.Pr == 1 || g.Pc == 1 {
-				gp = gp[:1]
-			}
-			sl := slot{S: S, g: g, start: len(s.leaves)}
-			for _, pl := range gp {
-				for _, part := range parts {
-					for _, m := range micros {
-						s.leaves = append(s.leaves, leaf{S: S, g: g, pl: pl, part: part, micro: m})
-					}
-				}
-			}
-			s.prefillTimes(g, micros)
-			sl.n = len(s.leaves) - sl.start
-			s.slots = append(s.slots, sl)
 		}
 	}
 }
 
-// prefillTimes memoizes the compute splits every leaf of a grid will
-// read: the full batch for single-iteration scoring and each candidate
-// micro-batch size for the lower bounds and pipelined paths.
-func (s *search) prefillTimes(g grid.Grid, micros []int) {
-	s.cc.fill(g, s.B)
+// prefillTimes memoizes the compute splits every leaf of a (batch, grid)
+// pair will read: the full batch for single-iteration scoring and each
+// candidate micro-batch size for the lower bounds and pipelined paths.
+func (s *search) prefillTimes(B int, g grid.Grid, micros []int) {
+	s.cc.fill(g, B)
 	for _, m := range micros {
-		if m >= 1 && s.B%m == 0 {
-			s.cc.fill(g, s.B/m)
+		if m >= 1 && B%m == 0 {
+			s.cc.fill(g, B/m)
 		}
 	}
 }
@@ -311,8 +357,8 @@ func (s *search) fillFloor(g grid.Grid, pl grid.Placement) {
 	s.floors[k] = env.FCGradReduceSeconds(s.net, g)
 }
 
-// lowerBound returns a monotone lower bound on the leaf's iteration
-// time, or ok=false when the leaf fails a structural constraint (it then
+// lowerBound returns a monotone lower bound on the leaf's objective
+// cost, or ok=false when the leaf fails a structural constraint (it then
 // flows through the full evaluation to be classified InfeasiblePruned
 // with its exact reason, exactly as without bounds).
 //
@@ -323,23 +369,27 @@ func (s *search) fillFloor(g grid.Grid, pl grid.Placement) {
 // per-iteration fixed overhead and the M-scaled unweighted-layer
 // compute; the non-overlapped closed form additionally serializes all
 // communication, of which the FC layers' Model-strategy ∆W all-reduce
-// is an assignment-independent floor.
+// is an assignment-independent floor. Under the TimeToAccuracy objective
+// the iteration-time bound is scaled by S(B) — the candidate's exact
+// steps multiplier — which keeps it a true lower bound on the campaign
+// cost and lets cheap-iteration batch sizes prune expensive ones.
 func (s *search) lowerBound(lf *leaf) (float64, bool) {
 	o := s.opts
 	g := lf.g
-	if ok, _ := feasible(s.net, s.B, g, o.Mode); !ok {
+	if ok, _ := feasible(s.net, lf.B, g, o.Mode); !ok {
 		return 0, false
 	}
 	if o.MaxPc > 0 && g.Pc > o.MaxPc {
 		return 0, false
 	}
-	if lf.micro < 1 || s.B%lf.micro != 0 {
+	if lf.micro < 1 || lf.B%lf.micro != 0 {
 		return 0, false
 	}
-	mb := s.B / lf.micro
+	mb := lf.B / lf.micro
 	if mb < g.Pc {
 		return 0, false
 	}
+	scale := s.objectiveScale(lf.B)
 	gt := s.cc.peek(g, mb)
 	fixed := o.Compute.FixedIter
 	M := float64(lf.micro)
@@ -349,12 +399,12 @@ func (s *search) lowerBound(lf *leaf) (float64, bool) {
 			if !o.UseTimeline && !o.Overlap {
 				lb += s.floors[floorKey{g.Pr, g.Pc, lf.pl}]
 			}
-			return lb, true
+			return lb * scale, true
 		}
 		// One stage runs all M micro-batches on one compute lane; the
 		// pipeline overhead contributes FixedIter once plus the
 		// unweighted compute per micro-batch (the flush update is ≥ 0).
-		return M*(gt.total+gt.overhead-fixed) + fixed, true
+		return (M*(gt.total+gt.overhead-fixed) + fixed) * scale, true
 	}
 	// Stage-partitioned: for every stage k there is a dependency chain no
 	// schedule can compress — micro-batch 1's forward must traverse the
@@ -374,7 +424,7 @@ func (s *search) lowerBound(lf *leaf) (float64, bool) {
 			chain = c
 		}
 	}
-	return chain + fixed + M*(gt.overhead-fixed), true
+	return (chain + fixed + M*(gt.overhead-fixed)) * scale, true
 }
 
 // evalLeaf evaluates leaf i against the frozen incumbent, recording its
@@ -390,10 +440,14 @@ func (s *search) evalLeaf(i int, incumbent float64, st *SearchStats) Plan {
 				st.StageCandidates++
 			}
 			st.Bounded++
-			p := Plan{Grid: lf.g, Placement: lf.pl, Mode: s.opts.Mode, MicroBatch: lf.micro,
+			kind := "compute"
+			if s.opts.Objective == TimeToAccuracy {
+				kind = "time-to-accuracy"
+			}
+			p := Plan{Grid: lf.g, Batch: lf.B, Placement: lf.pl, Mode: s.opts.Mode, MicroBatch: lf.micro,
 				Schedule: s.opts.Schedule, Stages: lf.S,
-				Reason: fmt.Sprintf("pruned: compute lower bound %.4gs exceeds incumbent best %.4gs",
-					lb, incumbent)}
+				Reason: fmt.Sprintf("pruned: %s lower bound %.4gs exceeds incumbent best %.4gs",
+					kind, lb, incumbent)}
 			if lf.S > 1 {
 				p.Partition = lf.part.Cuts()
 			}
@@ -401,9 +455,9 @@ func (s *search) evalLeaf(i int, incumbent float64, st *SearchStats) Plan {
 		}
 	}
 	if lf.S == 1 {
-		return evaluateMicroAt(s.net, s.B, lf.g, lf.pl, s.opts, lf.micro, s.cc, st)
+		return evaluateMicroAt(s.net, lf.B, lf.g, lf.pl, s.opts, lf.micro, s.cc, st)
 	}
-	return evaluateStagedAt(s.net, s.B, lf.g, lf.pl, lf.part, s.opts, lf.micro, st)
+	return evaluateStagedAt(s.net, lf.B, lf.g, lf.pl, lf.part, s.opts, lf.micro, st)
 }
 
 // run evaluates every leaf across the worker pool, chunk by chunk, and
@@ -491,9 +545,13 @@ func (s *search) run(st *SearchStats) {
 		}
 		// Advance the frozen incumbent: chunk boundaries are the only
 		// points where pruning decisions may observe new information.
+		// The incumbent lives in objective units (iteration seconds, or
+		// campaign seconds under TimeToAccuracy), matching the bounds.
 		for p := lo; p < hi; p++ {
-			if pl := &s.plans[order[p]]; pl.Feasible && pl.IterSeconds < incumbent {
-				incumbent = pl.IterSeconds
+			if pl := &s.plans[order[p]]; pl.Feasible {
+				if c := s.opts.objectiveCost(pl); c < incumbent {
+					incumbent = c
+				}
 			}
 		}
 	}

@@ -18,6 +18,12 @@ type Improvement struct {
 	Stages      int            `json:"stages,omitempty"`
 	Partition   []int          `json:"partition,omitempty"`
 	IterSeconds float64        `json:"iter_seconds"`
+	// Batch and TTASeconds extend the trajectory under the
+	// TimeToAccuracy objective: the candidate's global batch size and
+	// its campaign cost S(B) × IterSeconds — the quantity that actually
+	// improved. Zero (and omitted from JSON) under Iteration.
+	Batch      int     `json:"batch,omitempty"`
+	TTASeconds float64 `json:"tta_seconds,omitempty"`
 }
 
 // SearchStats is the planner's search telemetry, populated by Optimize:
@@ -53,6 +59,10 @@ type SearchStats struct {
 	// StageCountsSearched is the number of pipeline stage counts S the
 	// search examined (1 unless Options.StageCounts widens it).
 	StageCountsSearched int `json:"stage_counts_searched"`
+	// BatchSizesSearched is the number of global batch sizes the search
+	// examined (1 unless a TimeToAccuracy Options.BatchSizes widens it).
+	// Grid and candidate counts below are totals across the batch sweep.
+	BatchSizesSearched int `json:"batch_sizes_searched,omitempty"`
 	// PartitionsEnumerated is the total number of candidate contiguous
 	// layer→stage partitions generated across the multi-stage counts
 	// (0 for a purely single-stage search).
@@ -147,16 +157,26 @@ func (s SearchStats) String() string {
 		fmt.Fprintf(&b, "stages: %d stage counts, %d partitions, %d stage candidates\n",
 			s.StageCountsSearched, s.PartitionsEnumerated, s.StageCandidates)
 	}
+	if s.BatchSizesSearched > 1 {
+		fmt.Fprintf(&b, "batch:  %d global batch sizes searched\n", s.BatchSizesSearched)
+	}
 	fmt.Fprintf(&b, "wall:   %.3gs = enumerate %.3gs + price %.3gs + simulate %.3gs\n",
 		s.WallSeconds, s.EnumerateSeconds, s.PriceSeconds, s.SimulateSeconds)
 	if len(s.Improvements) > 0 {
 		fmt.Fprintf(&b, "best-cost trajectory (%d improvements):\n", len(s.Improvements))
 		for _, im := range s.Improvements {
 			fmt.Fprintf(&b, "  %-8s %-9s M=%-3d ", im.Grid, im.Placement, im.MicroBatch)
+			if im.Batch > 0 {
+				fmt.Fprintf(&b, "B=%-5d ", im.Batch)
+			}
 			if im.Stages > 1 {
 				fmt.Fprintf(&b, "S=%d cuts=%v ", im.Stages, im.Partition)
 			}
-			fmt.Fprintf(&b, "iter=%.4gs\n", im.IterSeconds)
+			fmt.Fprintf(&b, "iter=%.4gs", im.IterSeconds)
+			if im.TTASeconds > 0 {
+				fmt.Fprintf(&b, " tta=%.4gs", im.TTASeconds)
+			}
+			fmt.Fprintf(&b, "\n")
 		}
 	}
 	return b.String()

@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"dnnparallel/internal/convergence"
 	"dnnparallel/internal/grid"
 	"dnnparallel/internal/machine"
 	"dnnparallel/internal/nn"
@@ -264,6 +265,29 @@ type PipelineSpec struct {
 	MaxPartitions int `json:"max_partitions,omitempty"`
 }
 
+// ConvergenceSpec configures the steps-to-target model S(B) the
+// time-to-accuracy objective prices campaigns with (see
+// internal/convergence for the three-regime shape). Absent, the
+// network's own preset curve applies; Preset borrows another network's
+// curve; the three explicit parameters override individual regime
+// constants of whichever preset is in effect. Normalize canonicalizes:
+// the preset name is lowercased (and dropped when it names the
+// scenario's own network), explicit parameters equal to the effective
+// preset's are dropped, and a block that reduces to the network default
+// disappears entirely — so every spelling of one model shares one
+// canonical form (and one dnnserve cache entry).
+type ConvergenceSpec struct {
+	// Preset names the preset curve to start from (default: the
+	// scenario's network).
+	Preset string `json:"preset,omitempty"`
+	// StepsAtB1 overrides S(1), the steps to target at batch size 1.
+	StepsAtB1 float64 `json:"steps_at_b1,omitempty"`
+	// CriticalB overrides the critical batch size (the knee).
+	CriticalB float64 `json:"critical_b,omitempty"`
+	// Exponent overrides the knee sharpness.
+	Exponent float64 `json:"exponent,omitempty"`
+}
+
 // SearchSpec configures the search engine itself — how the candidate
 // product is evaluated, not which candidates it contains. The engine is
 // deterministic, so these knobs never change the returned plan: workers
@@ -292,6 +316,21 @@ type Scenario struct {
 	Procs int `json:"procs"`
 	// DatasetN, when > 0, also prices epochs (×⌈N/B⌉).
 	DatasetN int `json:"dataset_n,omitempty"`
+
+	// Objective selects what the planner minimizes: absent/"iteration"
+	// (time per training iteration at the fixed Batch — the paper's
+	// objective) or "time-to-accuracy" (steps-to-target × iteration
+	// seconds, the predicted wall clock of the whole training campaign).
+	Objective planner.Objective `json:"objective,omitempty"`
+	// BatchSizes lists candidate global batch sizes the time-to-accuracy
+	// search prices as its outermost dimension (Batch is always
+	// included). Rejected under the iteration objective, where B is
+	// fixed by definition. Sorted and deduped by Normalize; dropped when
+	// it degenerates to {Batch}.
+	BatchSizes []int `json:"batch_sizes,omitempty"`
+	// Convergence tunes the steps-to-target model (time-to-accuracy
+	// only; absent = the network's preset curve).
+	Convergence *ConvergenceSpec `json:"convergence,omitempty"`
 
 	// Machine overrides the flat α–β platform; Topology switches to the
 	// hierarchical platform (a list of link levels: node, rack, …).
@@ -391,6 +430,51 @@ func (s Scenario) Normalize() Scenario {
 			if m > 1 {
 				out.Timeline = true // pipelines are scored by the simulator
 			}
+		}
+	}
+	if len(out.BatchSizes) > 0 {
+		bs := append([]int(nil), out.BatchSizes...)
+		sort.Ints(bs)
+		dst := bs[:0]
+		for i, b := range bs {
+			if i == 0 || b != dst[len(dst)-1] {
+				dst = append(dst, b)
+			}
+		}
+		bs = dst
+		if len(bs) == 1 && bs[0] == out.Batch {
+			bs = nil // {Batch} is the implicit default: no batch search
+		}
+		out.BatchSizes = bs
+	}
+	if out.Convergence != nil {
+		c := *out.Convergence
+		c.Preset = strings.ToLower(strings.TrimSpace(c.Preset))
+		if c.Preset == out.Network {
+			c.Preset = "" // the scenario's own network is the default
+		}
+		name := c.Preset
+		if name == "" {
+			name = out.Network
+		}
+		if base, err := convergence.Preset(name); err == nil {
+			// Explicit parameters equal to the effective preset's change
+			// nothing; dropping them makes respellings cache-identical.
+			// An unknown preset is left intact for Validate to report.
+			if c.StepsAtB1 == base.StepsAtB1 {
+				c.StepsAtB1 = 0
+			}
+			if c.CriticalB == base.CriticalB {
+				c.CriticalB = 0
+			}
+			if c.Exponent == base.Exponent {
+				c.Exponent = 0
+			}
+		}
+		if (c == ConvergenceSpec{}) {
+			out.Convergence = nil // the network's preset curve is the default
+		} else {
+			out.Convergence = &c
 		}
 	}
 	if out.PipelineStages > 0 && out.Pipeline == nil {
@@ -542,6 +626,26 @@ func (s Scenario) Validate() error {
 	if _, err := s.Mode.MarshalText(); err != nil {
 		return invalid("mode", "%v", err)
 	}
+	if _, err := s.Objective.MarshalText(); err != nil {
+		return invalid("objective", "%v", err)
+	}
+	if s.Objective == planner.TimeToAccuracy {
+		for _, b := range s.BatchSizes {
+			if b < 1 {
+				return invalid("batch_sizes", "candidates must be ≥ 1, got %d", b)
+			}
+		}
+		if _, err := s.curve(); err != nil {
+			return invalid("convergence", "%v", err)
+		}
+	} else {
+		if len(s.BatchSizes) > 0 {
+			return invalid("batch_sizes", `batch-size search needs "objective": "time-to-accuracy" (B is fixed by definition under the iteration objective)`)
+		}
+		if s.Convergence != nil {
+			return invalid("convergence", `a steps-to-target model needs "objective": "time-to-accuracy" (the iteration objective never reads it)`)
+		}
+	}
 	for _, p := range s.Placements {
 		if _, err := p.MarshalText(); err != nil {
 			return invalid("placements", "%v", err)
@@ -566,13 +670,19 @@ func (s Scenario) Validate() error {
 		if s.Batch%m == 0 {
 			divides = true
 		}
+		for _, b := range s.BatchSizes {
+			if b >= 1 && b%m == 0 {
+				divides = true
+			}
+		}
 	}
 	if !divides {
 		// Individual non-dividing candidates are skipped by the search
 		// (a sweep like {1,2,3,4} over B=100 is fine), but when *no*
-		// candidate divides B the whole search space is empty by
-		// construction — a spec error, not a planning outcome.
-		return invalid("micro_batches", "no candidate in %v divides batch %d", s.MicroBatches, s.Batch)
+		// candidate divides any searched batch size the whole search
+		// space is empty by construction — a spec error, not a planning
+		// outcome.
+		return invalid("micro_batches", "no candidate in %v divides batch %d (or any batch_sizes entry)", s.MicroBatches, s.Batch)
 	}
 	if s.PipelineStages < 0 {
 		return invalid("pipeline_stages", "need a stage count ≥ 0, got %d", s.PipelineStages)
@@ -662,6 +772,46 @@ func (s Scenario) Validate() error {
 	return nil
 }
 
+// curve resolves the effective steps-to-target model for the
+// time-to-accuracy objective: the convergence block's preset curve
+// (default: the scenario's own network), with the block's non-zero
+// explicit parameters overriding individual regime constants. The
+// result is validated, so overrides cannot smuggle in a curve the
+// monotonicity properties do not hold for.
+func (s Scenario) curve() (convergence.Curve, error) {
+	name := s.Network
+	var c ConvergenceSpec
+	if s.Convergence != nil {
+		c = *s.Convergence
+		if p := strings.ToLower(strings.TrimSpace(c.Preset)); p != "" {
+			name = p
+		}
+	}
+	base, err := convergence.Preset(name)
+	if err != nil {
+		return convergence.Curve{}, err
+	}
+	if c.StepsAtB1 != 0 {
+		base.StepsAtB1 = c.StepsAtB1
+	}
+	if c.CriticalB != 0 {
+		base.CriticalB = c.CriticalB
+	}
+	if c.Exponent != 0 {
+		base.Exponent = c.Exponent
+	}
+	return base, base.Validate()
+}
+
+// ConvergenceCurve resolves the effective steps-to-target model the
+// time-to-accuracy objective would plan with: the convergence block's
+// preset (default: the scenario's own network) with the block's explicit
+// parameters applied. It lets front ends display the curve the planner
+// used without re-deriving the preset/override precedence.
+func (s Scenario) ConvergenceCurve() (convergence.Curve, error) {
+	return s.Normalize().curve()
+}
+
 // Canonical returns the canonical byte form: the compact JSON of the
 // normalized scenario. Two scenarios describing the same question have
 // identical canonical bytes — the dnnserve plan-cache key.
@@ -715,6 +865,15 @@ func (s Scenario) Resolve() (Resolved, error) {
 	if n.Search != nil {
 		opts.Workers = n.Search.Workers
 		opts.DisableBounds = n.Search.Bounds != nil && !*n.Search.Bounds
+	}
+	if n.Objective == planner.TimeToAccuracy {
+		opts.Objective = planner.TimeToAccuracy
+		opts.BatchSizes = append([]int(nil), n.BatchSizes...)
+		curve, err := n.curve()
+		if err != nil { // unreachable: Validate checked
+			return Resolved{}, invalid("convergence", "%v", err)
+		}
+		opts.Curve = curve
 	}
 	if n.Pipeline != nil {
 		opts.PipelineStages = n.Pipeline.Stages

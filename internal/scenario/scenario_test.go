@@ -33,7 +33,64 @@ func variants() map[string]Scenario {
 	staged.MicroBatches = []int{1, 2, 4}
 	staged.Schedule = timeline.OneFOneB
 	staged.Pipeline = &PipelineSpec{Stages: 2, Partition: &PartitionSpec{Cuts: []int{6}}}
-	return map[string]Scenario{"flat": flat, "topology": topo, "pipeline": pipe, "staged": staged}
+	tta := Default()
+	tta.Batch = 512
+	tta.Objective = planner.TimeToAccuracy
+	tta.BatchSizes = []int{256, 512, 2048}
+	tta.Convergence = &ConvergenceSpec{Preset: "vgg16", StepsAtB1: 1.5e8}
+	return map[string]Scenario{"flat": flat, "topology": topo, "pipeline": pipe, "staged": staged, "tta": tta}
+}
+
+// TestConvergenceCanonicalization pins the respell rules that make the
+// dnnserve cache key stable: case-folded presets, a preset equal to the
+// scenario's own network, and explicit parameters equal to the effective
+// preset all collapse to the same canonical bytes as the bare spelling.
+func TestConvergenceCanonicalization(t *testing.T) {
+	bare := Default()
+	bare.Batch = 512
+	bare.Objective = planner.TimeToAccuracy
+	bare.BatchSizes = []int{256, 512, 2048}
+	want, err := bare.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spellings := map[string]*ConvergenceSpec{
+		"preset-own-network": {Preset: "alexnet"},
+		"preset-case-folded": {Preset: " AlexNet "},
+		"explicit-eq-preset": {StepsAtB1: 1.08e8, CriticalB: 2048, Exponent: 2},
+		"both":               {Preset: "ALEXNET", StepsAtB1: 1.08e8, CriticalB: 2048, Exponent: 2},
+	}
+	for name, conv := range spellings {
+		t.Run(name, func(t *testing.T) {
+			alt := bare
+			alt.Convergence = conv
+			got, err := alt.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("respelled convergence block changed the canonical bytes:\n want %s\n  got %s", want, got)
+			}
+		})
+	}
+	// A genuinely different curve must NOT collapse to the bare spelling.
+	alt := bare
+	alt.Convergence = &ConvergenceSpec{StepsAtB1: 9e7}
+	got, err := alt.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(want, got) {
+		t.Fatal("a different convergence curve canonicalized to the preset spelling")
+	}
+	// The effective curve is the preset with the override applied.
+	curve, err := alt.ConvergenceCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.StepsAtB1 != 9e7 || curve.CriticalB != 2048 || curve.Exponent != 2 {
+		t.Fatalf("override curve = %+v, want preset with StepsAtB1=9e7", curve)
+	}
 }
 
 // TestJSONRoundTripBitExact: marshal → unmarshal → marshal must be

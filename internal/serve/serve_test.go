@@ -95,6 +95,49 @@ func TestPlanEndpoint(t *testing.T) {
 	}
 }
 
+// TestPlanTTACacheRespell: a time-to-accuracy scenario whose convergence
+// block is spelled out in full — preset named in the wrong case, every
+// explicit parameter equal to the preset it came from — asks the same
+// question as the bare spelling, so it must hit the bare spelling's
+// cache entry byte-identically.
+func TestPlanTTACacheRespell(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	sc := dnnparallel.New("alexnet", 512, 512,
+		dnnparallel.WithBatchSizes(256, 512, 1024, 2048))
+
+	resp, body := post(t, ts.URL+"/v1/plan", scenarioJSON(t, sc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res dnnparallel.PlanResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if res.Best.Batch == 0 || res.Best.TimeToAccuracySeconds == 0 {
+		t.Fatalf("served tta plan misses campaign fields: %+v", res.Best)
+	}
+
+	alt := sc
+	alt.Network = "ALEXNET"
+	alt.Convergence = &dnnparallel.ConvergenceSpec{
+		Preset:    "AlexNet",
+		StepsAtB1: 1.08e8, CriticalB: 2048, Exponent: 2,
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/plan", scenarioJSON(t, alt))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("respelled convergence block X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cache hit served different bytes")
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
 // TestSimulateEndpoint mirrors the plan test for /v1/simulate, including
 // the plan-vs-simulate cache-key separation for an identical spec.
 func TestSimulateEndpoint(t *testing.T) {

@@ -121,6 +121,48 @@ func BenchmarkPlanScenarioSerialBaseline(b *testing.B) {
 
 func boolPtr(v bool) *bool { return &v }
 
+// ttaScenario is the campaign search the tta A/B benchmarks share: the
+// golden alexnet-tta question — AlexNet P=512, base batch 512, seven
+// candidate batch sizes spanning the three convergence regimes, the
+// network's preset curve.
+func ttaScenario() Scenario {
+	return New("alexnet", 512, 512,
+		WithBatchSizes(256, 512, 1024, 2048, 4096, 8192, 16384))
+}
+
+// BenchmarkPlanScenarioTTA is the B side of the objective A/B: the
+// time-to-accuracy campaign search, whose batch-size dimension
+// multiplies the grid sweep by 7 but is cut back by the per-B lower
+// bound S(B) × computeFloor(B).
+func BenchmarkPlanScenarioTTA(b *testing.B) {
+	sc := ttaScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Plan(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Best.TimeToAccuracySeconds, "plan_tta_s")
+		}
+	}
+}
+
+// BenchmarkPlanScenarioTTAIterBaseline is the A side: the identical
+// scenario under the default iteration objective (batch fixed at the
+// base 512). Interleaved with the B side by scripts/bench.sh, the pair
+// yields the tta_search_overhead record in BENCH_plan.json — and this
+// side is the pre-existing hot path, which must not regress.
+func BenchmarkPlanScenarioTTAIterBaseline(b *testing.B) {
+	sc := New("alexnet", 512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScenarioCanonical times the cache-key path alone: the
 // dnnserve per-request fixed cost even on a hit.
 func BenchmarkScenarioCanonical(b *testing.B) {

@@ -75,6 +75,16 @@ type PlanSummary struct {
 	Partition []int          `json:"partition,omitempty"`
 	PerStage  []StageSummary `json:"per_stage,omitempty"`
 
+	// Batch is the global batch size the plan was priced at — the
+	// scenario's Batch unless a time-to-accuracy search selected another
+	// candidate from BatchSizes. StepsToTarget and TimeToAccuracySeconds
+	// carry the time-to-accuracy objective's campaign prediction (the
+	// modeled steps to the target accuracy and steps × iter_seconds);
+	// both are omitted under the iteration objective.
+	Batch                 int     `json:"batch,omitempty"`
+	StepsToTarget         float64 `json:"steps_to_target,omitempty"`
+	TimeToAccuracySeconds float64 `json:"time_to_accuracy_seconds,omitempty"`
+
 	CommSeconds        float64 `json:"comm_seconds"`
 	CompSeconds        float64 `json:"comp_seconds"`
 	ExposedCommSeconds float64 `json:"exposed_comm_seconds"`
@@ -194,20 +204,23 @@ func layerRange(net *nn.Network, first, last int) string {
 // only when net is non-nil (the best plan).
 func summarize(p planner.Plan, net *nn.Network) PlanSummary {
 	s := PlanSummary{
-		Grid:               p.Grid.String(),
-		Placement:          p.Placement,
-		Mode:               p.Mode,
-		MicroBatch:         p.MicroBatch,
-		Schedule:           p.Schedule,
-		BubbleFraction:     p.BubbleFraction,
-		CommSeconds:        p.CommSeconds,
-		CompSeconds:        p.CompSeconds,
-		ExposedCommSeconds: p.ExposedCommSeconds,
-		IterSeconds:        p.IterSeconds,
-		EpochSeconds:       p.EpochSeconds,
-		MemoryWords:        p.MemoryWords,
-		Feasible:           p.Feasible,
-		Reason:             p.Reason,
+		Grid:                  p.Grid.String(),
+		Placement:             p.Placement,
+		Mode:                  p.Mode,
+		MicroBatch:            p.MicroBatch,
+		Schedule:              p.Schedule,
+		BubbleFraction:        p.BubbleFraction,
+		Batch:                 p.Batch,
+		StepsToTarget:         p.StepsToTarget,
+		TimeToAccuracySeconds: p.TimeToAccuracySeconds,
+		CommSeconds:           p.CommSeconds,
+		CompSeconds:           p.CompSeconds,
+		ExposedCommSeconds:    p.ExposedCommSeconds,
+		IterSeconds:           p.IterSeconds,
+		EpochSeconds:          p.EpochSeconds,
+		MemoryWords:           p.MemoryWords,
+		Feasible:              p.Feasible,
+		Reason:                p.Reason,
 	}
 	if p.Stages > 1 {
 		s.Stages = p.Stages

@@ -8,7 +8,9 @@
 # parallel pruned engine (bounds on) on the staged AlexNet search,
 # alternating A and B each pair so machine drift cancels instead of
 # biasing the comparison. The engine side also sweeps -cpu 1,2,4 so the
-# worker scaling is recorded per GOMAXPROCS.
+# worker scaling is recorded per GOMAXPROCS. A second interleaved A/B
+# pits the iteration objective against the time-to-accuracy campaign
+# search on the same scenario (the tta_search_overhead record).
 #
 # Usage: scripts/bench.sh [output-file]   (default: bench.txt)
 set -e
@@ -23,6 +25,16 @@ i=1
 while [ "$i" -le 6 ]; do
 	go test -run '^$' -bench 'BenchmarkPlanScenarioSerialBaseline$' -cpu 1,4 -benchmem -benchtime=2s . | tee -a "$out"
 	go test -run '^$' -bench 'BenchmarkPlanScenarioParallel$' -cpu 1,2,4 -benchmem -benchtime=2s . | tee -a "$out"
+	i=$((i + 1))
+done
+# Interleaved A/B for the time-to-accuracy objective: pairs of (iteration
+# baseline, tta campaign) on the same AlexNet P=512 question, feeding the
+# tta_search_overhead record — the iteration side is the pre-existing hot
+# path and must not regress.
+i=1
+while [ "$i" -le 6 ]; do
+	go test -run '^$' -bench 'BenchmarkPlanScenarioTTAIterBaseline$' -benchmem -benchtime=2s . | tee -a "$out"
+	go test -run '^$' -bench 'BenchmarkPlanScenarioTTA$' -benchmem -benchtime=2s . | tee -a "$out"
 	i=$((i + 1))
 done
 echo "wrote $out"
